@@ -1,0 +1,77 @@
+"""Shared fixtures for the benchmark harness.
+
+Every benchmark regenerates one table or figure of the paper.  The scale is
+controlled by ``REPRO_SCALE`` (default ``tiny`` here so the whole harness runs
+in minutes on a laptop; set ``REPRO_SCALE=paper`` for the full-size runs).
+Reports are printed and also written to ``benchmarks/results/``.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.config import get_scale
+from repro.experiments.configs import ExperimentSettings, default_settings
+from repro.experiments.runner import run_learning_curves
+from repro.neural.featurizer import FeaturizerConfig
+from repro.neural.matcher import MatcherConfig
+
+_RESULTS_DIR = Path(__file__).parent / "results"
+
+#: Methods compared in the headline experiments (Figure 5, Tables 4-5).
+HEADLINE_METHODS = ("battleship", "dal", "dial", "random")
+
+
+def _bench_scale_name() -> str:
+    return os.environ.get("REPRO_SCALE", "tiny")
+
+
+@pytest.fixture(scope="session")
+def bench_settings() -> ExperimentSettings:
+    """Experiment settings used by every benchmark."""
+    scale = get_scale(_bench_scale_name())
+    settings = default_settings(scale)
+    if scale.name == "paper":
+        return settings
+    # Reduced scales use a faster matcher so the whole harness stays quick.
+    return ExperimentSettings(
+        scale=settings.scale,
+        datasets=settings.datasets,
+        iterations=settings.iterations,
+        budget_per_iteration=settings.budget_per_iteration,
+        seed_size=settings.seed_size,
+        num_seeds=1,
+        alphas=(0.5,),
+        beta=0.5,
+        matcher_config=MatcherConfig(hidden_dims=(96, 48), epochs=6, batch_size=16,
+                                     learning_rate=2e-3, random_state=0),
+        featurizer_config=FeaturizerConfig(hash_dim=128),
+        base_random_seed=7,
+    )
+
+
+@pytest.fixture(scope="session")
+def headline_curves(bench_settings):
+    """Learning curves of all headline methods on all datasets (computed once).
+
+    This is the data behind Figure 5 and Tables 4-5; sharing it across the
+    benches avoids re-running the expensive active-learning sweeps.
+    """
+    return run_learning_curves(bench_settings.datasets, HEADLINE_METHODS, bench_settings)
+
+
+@pytest.fixture(scope="session")
+def write_report():
+    """Callable writing a named report to benchmarks/results/ and stdout."""
+    _RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+
+    def _write(name: str, text: str) -> Path:
+        path = _RESULTS_DIR / f"{name}.txt"
+        path.write_text(text + "\n", encoding="utf-8")
+        print(f"\n{text}\n[report written to {path}]")
+        return path
+
+    return _write

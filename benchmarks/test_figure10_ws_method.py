@@ -1,0 +1,31 @@
+"""Figure 10 — spatial vs. entropy-only weak supervision.
+
+The battleship approach picks its weak labels by the spatially aware certainty
+score (Eq. 4); DAL uses plain conditional entropy (Eq. 1).  The paper reports
+a small but consistent AUC advantage for the spatial method when everything
+else is held fixed.  The reproduction runs the battleship selector with both
+weak-supervision methods and compares AUCs.
+"""
+
+from repro.evaluation.reporting import format_table
+from repro.experiments.configs import ABLATION_DATASETS
+from repro.experiments.figures import figure10_ws_method
+
+
+def test_figure10_ws_method(benchmark, bench_settings, write_report):
+    rows = benchmark.pedantic(figure10_ws_method,
+                              args=(bench_settings, ABLATION_DATASETS),
+                              rounds=1, iterations=1)
+    assert len(rows) == len(ABLATION_DATASETS)
+    competitive = 0
+    for row in rows:
+        assert row["battleship_ws_auc"] > 0
+        assert row["dal_style_ws_auc"] > 0
+        if row["battleship_ws_auc"] >= row["dal_style_ws_auc"] * 0.9:
+            competitive += 1
+    # The paper reports a modest edge for the spatial WS; at reduced scale we
+    # require it to be at least competitive on the ablation datasets.
+    assert competitive >= 1
+    write_report("figure10_ws_method",
+                 format_table(rows, title="Figure 10 — battleship WS vs. DAL-style WS "
+                                          "(AUC, measured vs. paper)"))

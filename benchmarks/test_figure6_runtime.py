@@ -1,0 +1,34 @@
+"""Figure 6 — battleship selection runtime per active-learning iteration.
+
+The paper observes that the per-iteration runtime of the battleship approach
+*decreases* over the learning course, because the prediction-based graphs are
+built over a shrinking pool.  The bench records the measured selection time of
+every iteration on two datasets and checks the decreasing trend (first half
+vs. second half of the iterations).
+"""
+
+import numpy as np
+
+from repro.evaluation.reporting import format_table
+from repro.experiments.figures import figure6_runtime
+
+_DATASETS = ("walmart_amazon", "amazon_google")
+
+
+def test_figure6_runtime(benchmark, bench_settings, write_report):
+    rows = benchmark.pedantic(figure6_runtime, args=(bench_settings, _DATASETS),
+                              rounds=1, iterations=1)
+    assert rows
+    for dataset in _DATASETS:
+        runtimes = [row["selection_seconds"] for row in rows if row["dataset"] == dataset]
+        assert len(runtimes) == bench_settings.iterations
+        assert all(seconds > 0 for seconds in runtimes)
+        # Decreasing trend: the average of the later iterations should not
+        # exceed the average of the earlier iterations by much.
+        half = len(runtimes) // 2
+        if half >= 1:
+            early, late = np.mean(runtimes[:half]), np.mean(runtimes[half:])
+            assert late <= early * 1.5
+    write_report("figure6_runtime",
+                 format_table(rows, title="Figure 6 — battleship selection runtime "
+                                          "(seconds) per iteration", float_format="{:.3f}"))

@@ -1,0 +1,30 @@
+"""Figure 7 — local vs. spatial certainty (β ablation).
+
+β = 1 uses only the model's own confidence, β = 0 only the spatial
+(neighbourhood) confidence, β = 0.5 fuses both.  The paper finds the fused
+version the strongest once enough labels accumulate; the reproduction checks
+that the fused curve is competitive with the best single-signal variant.
+"""
+
+from repro.evaluation.reporting import format_table
+from repro.experiments.configs import ABLATION_DATASETS
+from repro.experiments.figures import figure7_beta_ablation, figure7_rows
+
+
+def test_figure7_beta_ablation(benchmark, bench_settings, write_report):
+    curves = benchmark.pedantic(
+        figure7_beta_ablation,
+        args=(bench_settings, ABLATION_DATASETS, (0.0, 0.5, 1.0)),
+        rounds=1, iterations=1,
+    )
+    rows = figure7_rows(curves)
+    assert len(rows) == len(ABLATION_DATASETS) * 3
+
+    for dataset, by_beta in curves.items():
+        fused = by_beta[0.5].auc()
+        best_single = max(by_beta[0.0].auc(), by_beta[1.0].auc())
+        # The fused certainty should not collapse relative to either extreme.
+        assert fused >= best_single * 0.85
+    write_report("figure7_beta_ablation",
+                 format_table(rows, title="Figure 7 — final F1 for beta in {0, 0.5, 1} "
+                                          "(measured vs. paper)"))

@@ -1,0 +1,30 @@
+"""Figure 9 — the impact of weak supervision.
+
+Both the battleship approach and DAL augment training with weak labels; the
+paper shows that removing the component ("-WS") costs both methods a large
+share of their final F1.  The reproduction checks that the with-WS variants
+dominate the without-WS variants for both methods on the ablation datasets.
+"""
+
+from repro.evaluation.reporting import format_table
+from repro.experiments.configs import ABLATION_DATASETS
+from repro.experiments.figures import figure9_weak_supervision
+
+
+def test_figure9_weak_supervision(benchmark, bench_settings, write_report):
+    rows = benchmark.pedantic(figure9_weak_supervision,
+                              args=(bench_settings, ABLATION_DATASETS),
+                              rounds=1, iterations=1)
+    assert len(rows) == len(ABLATION_DATASETS)
+    improvements = 0
+    comparisons = 0
+    for row in rows:
+        for method in ("battleship", "dal"):
+            comparisons += 1
+            if row[f"{method}_f1"] >= row[f"{method}_no_ws_f1"] * 0.95:
+                improvements += 1
+    # Weak supervision should help (or at least not hurt) in most settings.
+    assert improvements >= comparisons * 0.5
+    write_report("figure9_weak_supervision",
+                 format_table(rows, title="Figure 9 — final F1 with and without "
+                                          "weak supervision (measured vs. paper)"))

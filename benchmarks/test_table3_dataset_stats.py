@@ -1,0 +1,23 @@
+"""Table 3 — dataset statistics of the six benchmarks.
+
+Regenerates the size / positive-rate / attribute-count rows next to the
+paper's published numbers.  At reduced scales the sizes shrink proportionally
+but the positive rates and attribute counts must match the paper.
+"""
+
+from repro.evaluation.reporting import format_table
+from repro.experiments.tables import table3_dataset_statistics
+
+
+def test_table3_dataset_statistics(benchmark, bench_settings, write_report):
+    rows = benchmark.pedantic(table3_dataset_statistics, args=(bench_settings,),
+                              rounds=1, iterations=1)
+    assert len(rows) == len(bench_settings.datasets)
+    for row in rows:
+        # The synthetic generators are calibrated to the paper's positive
+        # rates and attribute counts.
+        assert abs(row["pos"] - row["paper_pos"]) < 4.0
+        assert row["atts"] == row["paper_atts"]
+    write_report("table3_dataset_stats",
+                 format_table(rows, title="Table 3 — dataset statistics "
+                                           "(paper vs. generated)"))

@@ -1,0 +1,27 @@
+"""Table 5 — AUC of the F1 learning curves.
+
+The paper's summary of the whole learning course: the battleship approach has
+the highest AUC on every dataset.  The reproduction checks that it leads on
+the majority of datasets (synthetic-data noise allows an occasional tie).
+"""
+
+from repro.evaluation.reporting import format_table
+from repro.experiments.tables import table5_auc
+
+
+def test_table5_auc(benchmark, bench_settings, headline_curves, write_report):
+    rows = benchmark.pedantic(table5_auc, args=(headline_curves,), rounds=1, iterations=1)
+    assert rows
+
+    wins = 0
+    datasets = list(headline_curves)
+    for dataset in datasets:
+        by_method = {row["method"]: row["auc"] for row in rows if row["dataset"] == dataset}
+        best_baseline = max(by_method[m] for m in ("dal", "random", "dial"))
+        if by_method["battleship"] >= best_baseline:
+            wins += 1
+    assert wins >= len(datasets) // 2
+
+    write_report("table5_auc",
+                 format_table(rows, title="Table 5 — AUC of the F1 learning curves "
+                                          "(measured vs. paper)"))

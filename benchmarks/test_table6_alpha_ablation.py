@@ -1,0 +1,32 @@
+"""Table 6 — weighting certainty vs. centrality (α ablation).
+
+α = 1 ranks purely by certainty, α = 0 purely by centrality; the paper finds
+the mixed settings (0.25-0.75) best on every dataset.  The reproduction runs
+the sweep on the two ablation datasets and checks the mixed settings are
+competitive with the pure ones.
+"""
+
+from repro.evaluation.reporting import format_table
+from repro.experiments.configs import ABLATION_DATASETS
+from repro.experiments.tables import table6_alpha_ablation
+
+_ALPHAS = (0.0, 0.25, 0.5, 0.75, 1.0)
+
+
+def test_table6_alpha_ablation(benchmark, bench_settings, write_report):
+    rows = benchmark.pedantic(
+        table6_alpha_ablation,
+        args=(bench_settings, ABLATION_DATASETS, _ALPHAS),
+        rounds=1, iterations=1,
+    )
+    assert len(rows) == len(ABLATION_DATASETS)
+    for row in rows:
+        measured = {alpha: row[f"alpha_{alpha}"] for alpha in _ALPHAS}
+        assert all(0.0 <= value <= 100.0 for value in measured.values())
+        mixed_best = max(measured[0.25], measured[0.5], measured[0.75])
+        pure_best = max(measured[0.0], measured[1.0])
+        # Mixed settings should not be dominated by the pure ones.
+        assert mixed_best >= pure_best * 0.9
+    write_report("table6_alpha_ablation",
+                 format_table(rows, title="Table 6 — final F1 for different alpha values "
+                                          "(measured vs. paper)"))

@@ -1,0 +1,61 @@
+"""Reproducing the Figure 1 observation: match pairs cluster in latent space.
+
+Trains the matcher on the full training split of two benchmarks, extracts the
+pair representations (the ``[CLS]`` analogue), reduces them to two dimensions
+with the from-scratch t-SNE, and prints the concentration statistics that
+motivate the battleship approach.  The 2-D coordinates are written to CSV so
+they can be plotted with any external tool.
+
+Run with::
+
+    python examples/latent_space_exploration.py
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+
+from repro.experiments.configs import ExperimentSettings
+from repro.experiments.figures import figure1_latent_space
+from repro.config import get_scale
+from repro.evaluation import format_table
+from repro.neural.featurizer import FeaturizerConfig
+from repro.neural.matcher import MatcherConfig
+
+
+def main() -> None:
+    settings = ExperimentSettings(
+        scale=get_scale("tiny"),
+        datasets=("amazon_google", "walmart_amazon"),
+        iterations=2, budget_per_iteration=20, seed_size=20, num_seeds=1,
+        alphas=(0.5,), beta=0.5,
+        matcher_config=MatcherConfig(hidden_dims=(96, 48), epochs=8, batch_size=16,
+                                     learning_rate=2e-3, random_state=0),
+        featurizer_config=FeaturizerConfig(hash_dim=128),
+        base_random_seed=7,
+    )
+
+    output_dir = Path("latent_space_output")
+    output_dir.mkdir(exist_ok=True)
+    rows = []
+    for name in settings.datasets:
+        report = figure1_latent_space(name, settings, max_points=250, run_tsne=True)
+        rows.append(report.as_row())
+
+        csv_path = output_dir / f"{name}_tsne.csv"
+        with csv_path.open("w", newline="", encoding="utf-8") as handle:
+            writer = csv.writer(handle)
+            writer.writerow(["x", "y", "label"])
+            for (x, y), label in zip(report.embedding, report.labels):
+                writer.writerow([f"{x:.4f}", f"{y:.4f}", int(label)])
+        print(f"Wrote t-SNE coordinates for {name} to {csv_path}")
+
+    print()
+    print(format_table(rows, title="Figure 1 — latent-space concentration statistics"))
+    print("\nknn_label_agreement far above positive_rate means match pairs are")
+    print("concentrated in specific regions — the property the battleship approach exploits.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,77 @@
+"""A product-matching labeling campaign: battleship vs. the baselines.
+
+Scenario: a retailer needs to link its catalog against a marketplace feed
+(Walmart-Amazon style data, ~9% true matches) but can only afford a few dozen
+labels per review round.  The script runs the same campaign with four
+selection strategies and prints which one delivers the best matcher per label
+spent — the comparison behind Figure 5 / Table 4 of the paper.
+
+Run with::
+
+    python examples/product_matching_campaign.py
+"""
+
+from __future__ import annotations
+
+from repro.baselines import evaluate_zeroer, train_full_matcher
+from repro.core import (
+    ActiveLearningLoop,
+    BattleshipSelector,
+    CommitteeSelector,
+    EntropySelector,
+    MatcherConfig,
+    RandomSelector,
+    load_benchmark,
+)
+from repro.evaluation import format_table
+from repro.neural.featurizer import FeaturizerConfig
+
+ITERATIONS = 3
+BUDGET = 20
+
+
+def main() -> None:
+    dataset = load_benchmark("walmart_amazon", scale="tiny", random_state=11)
+    matcher_config = MatcherConfig(hidden_dims=(96, 48), epochs=8, batch_size=16,
+                                   learning_rate=2e-3, random_state=1)
+    featurizer_config = FeaturizerConfig(hash_dim=128)
+
+    selectors = {
+        "battleship": BattleshipSelector(alpha=0.5, beta=0.5),
+        "dal (entropy)": EntropySelector(),
+        "dial (committee)": CommitteeSelector(),
+        "random": RandomSelector(),
+    }
+
+    rows = []
+    for name, selector in selectors.items():
+        loop = ActiveLearningLoop(
+            dataset=dataset, selector=selector, matcher_config=matcher_config,
+            featurizer_config=featurizer_config, iterations=ITERATIONS,
+            budget_per_iteration=BUDGET, seed_size=BUDGET, random_state=11,
+        )
+        result = loop.run()
+        curve = result.learning_curve()
+        rows.append({
+            "strategy": name,
+            "labels_used": result.records[-1].num_labeled,
+            "final_f1": round(result.final_f1 * 100, 1),
+            "auc": round(curve.auc(), 1),
+            "positives_found": result.records[-1].num_labeled_positives,
+        })
+
+    # Reference points: no labels at all, and no label limit at all.
+    zero = evaluate_zeroer(dataset, random_state=0)
+    full = train_full_matcher(dataset, matcher_config, featurizer_config)
+    rows.append({"strategy": "zeroer (0 labels)", "labels_used": 0,
+                 "final_f1": round(zero.f1 * 100, 1), "auc": "-", "positives_found": "-"})
+    rows.append({"strategy": f"full d ({full.num_training_labels} labels)",
+                 "labels_used": full.num_training_labels,
+                 "final_f1": round(full.f1 * 100, 1), "auc": "-", "positives_found": "-"})
+
+    print(format_table(rows, title="Product matching campaign — Walmart-Amazon style"))
+    print("\nHigher AUC = better matcher throughout the campaign, not just at the end.")
+
+
+if __name__ == "__main__":
+    main()

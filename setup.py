@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+The project is configured through ``pyproject.toml``; this file exists so that
+environments whose setuptools/pip lack PEP 660 editable-install support (e.g.
+offline machines without the ``wheel`` package) can still run
+``pip install -e . --no-build-isolation --no-use-pep517``.
+"""
+
+from setuptools import setup
+
+setup()

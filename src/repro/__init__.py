@@ -1,0 +1,42 @@
+"""repro — a reproduction of "The Battleship Approach to the Low Resource
+Entity Matching Problem" (Genossar, Gal & Shraga, SIGMOD 2023).
+
+The package is organized as a set of substrates (data model, synthetic
+benchmarks, text similarity, blocking, a NumPy neural matcher, nearest
+neighbours, clustering, pair graphs) underneath the primary contribution: the
+battleship active-learning selector and the experiment harness that reproduces
+the paper's tables and figures.
+
+Most users only need :mod:`repro.core`::
+
+    from repro.core import ActiveLearningLoop, BattleshipSelector, load_benchmark
+"""
+
+from repro.config import ScaleProfile, available_scales, get_scale
+from repro.exceptions import (
+    BudgetError,
+    ConfigurationError,
+    ConvergenceError,
+    DatasetError,
+    NotFittedError,
+    OracleError,
+    ReproError,
+    SchemaError,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BudgetError",
+    "ConfigurationError",
+    "ConvergenceError",
+    "DatasetError",
+    "NotFittedError",
+    "OracleError",
+    "ReproError",
+    "ScaleProfile",
+    "SchemaError",
+    "__version__",
+    "available_scales",
+    "get_scale",
+]

@@ -1,0 +1,45 @@
+"""Active-learning core: the battleship approach, baselines, loop, and oracles."""
+
+from repro.active.budget import (
+    cap_budgets_by_size,
+    distribute_budget,
+    positive_budget,
+    split_budget,
+)
+from repro.active.loop import ActiveLearningLoop, ActiveLearningResult, IterationRecord
+from repro.active.oracle import LabelingOracle, NoisyOracle, PerfectOracle
+from repro.active.selectors import (
+    BattleshipConfig,
+    BattleshipSelector,
+    CommitteeSelector,
+    EntropySelector,
+    RandomSelector,
+    SelectionContext,
+    Selector,
+)
+from repro.active.state import ActiveLearningState
+from repro.active.weak_supervision import WeakSupervisionMode, resolve_mode, select_weak_labels
+
+__all__ = [
+    "ActiveLearningLoop",
+    "ActiveLearningResult",
+    "ActiveLearningState",
+    "BattleshipConfig",
+    "BattleshipSelector",
+    "CommitteeSelector",
+    "EntropySelector",
+    "IterationRecord",
+    "LabelingOracle",
+    "NoisyOracle",
+    "PerfectOracle",
+    "RandomSelector",
+    "SelectionContext",
+    "Selector",
+    "WeakSupervisionMode",
+    "cap_budgets_by_size",
+    "distribute_budget",
+    "positive_budget",
+    "resolve_mode",
+    "select_weak_labels",
+    "split_budget",
+]

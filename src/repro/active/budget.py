@@ -1,0 +1,95 @@
+"""Budget handling: the positive/negative split and the per-component shares.
+
+Two pieces of the paper live here:
+
+* the decaying positive-budget schedule of Section 4.2,
+  ``B+ = B * max(0.8 - i / 20, 0.5)``, which front-loads the hunt for match
+  pairs in the early iterations (the *correspondence* criterion), and
+* the proportional distribution of a budget over connected components
+  (Eq. 2), with the rounded-down residue assigned at random.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro._rng import RandomState, ensure_rng
+from repro.exceptions import BudgetError
+
+
+def positive_budget(total_budget: int, iteration: int,
+                    initial_share: float = 0.8, decay: float = 0.05,
+                    floor: float = 0.5) -> int:
+    """The match-pair share of the labeling budget for ``iteration`` (Section 4.2).
+
+    The paper uses ``B * max(0.8 - i/20, 0.5)``, i.e. an initial share of 0.8
+    decaying by 0.05 per iteration down to a floor of 0.5.
+    """
+    if total_budget < 0:
+        raise BudgetError("total_budget must be >= 0")
+    if iteration < 0:
+        raise BudgetError("iteration must be >= 0")
+    share = max(initial_share - decay * iteration, floor)
+    share = min(max(share, 0.0), 1.0)
+    return int(round(total_budget * share))
+
+
+def split_budget(total_budget: int, iteration: int, **kwargs: float) -> tuple[int, int]:
+    """Return ``(B+, B-)`` for ``iteration`` (see :func:`positive_budget`)."""
+    positive = positive_budget(total_budget, iteration, **kwargs)
+    return positive, total_budget - positive
+
+
+def distribute_budget(
+    component_sizes: dict[int, int],
+    budget: int,
+    random_state: RandomState = None,
+) -> dict[int, int]:
+    """Distribute ``budget`` over connected components proportionally to size (Eq. 2).
+
+    Each component ``cc`` receives ``floor(budget * |cc| / total)``; whatever
+    remains after rounding down is handed out one unit at a time to randomly
+    chosen components (Example 6).
+
+    Parameters
+    ----------
+    component_sizes:
+        Mapping component id → number of nodes.
+    budget:
+        Labels to distribute (``B+`` or ``B-``).
+    """
+    if budget < 0:
+        raise BudgetError("budget must be >= 0")
+    for component, size in component_sizes.items():
+        if size < 0:
+            raise BudgetError(f"Component {component} has negative size {size}")
+    rng = ensure_rng(random_state)
+    components = list(component_sizes)
+    if not components or budget == 0:
+        return {component: 0 for component in components}
+
+    total_size = sum(component_sizes.values())
+    if total_size == 0:
+        return {component: 0 for component in components}
+
+    shares = {
+        component: int(np.floor(budget * component_sizes[component] / total_size))
+        for component in components
+    }
+    residue = budget - sum(shares.values())
+    if residue > 0:
+        # Randomly distribute the residue, preferring components that can
+        # still absorb labels (size above their current share).
+        eligible = [c for c in components if component_sizes[c] > shares[c]]
+        if not eligible:
+            eligible = components
+        chosen = rng.choice(len(eligible), size=residue, replace=len(eligible) < residue)
+        for position in np.atleast_1d(chosen):
+            shares[eligible[int(position)]] += 1
+    return shares
+
+
+def cap_budgets_by_size(shares: dict[int, int], component_sizes: dict[int, int]) -> dict[int, int]:
+    """Clip each component's share at its size (cannot label more than exists)."""
+    return {component: min(share, component_sizes.get(component, 0))
+            for component, share in shares.items()}

@@ -1,0 +1,77 @@
+"""Labeling oracles.
+
+Active learning sends selected pairs to an oracle (Section 3.6).  The paper
+assumes a perfect oracle; :class:`NoisyOracle` is provided as an extension to
+study how labeling mistakes affect the selection strategies.
+"""
+
+from __future__ import annotations
+
+import abc
+
+import numpy as np
+
+from repro._rng import RandomState, ensure_rng
+from repro.data.dataset import EMDataset
+from repro.exceptions import OracleError
+
+
+class LabelingOracle(abc.ABC):
+    """Answers label queries for candidate pairs (by dataset pair index)."""
+
+    def __init__(self) -> None:
+        self.num_queries = 0
+
+    @abc.abstractmethod
+    def _label(self, pair_index: int) -> int:
+        """Return the label for ``pair_index`` (without bookkeeping)."""
+
+    def query(self, pair_index: int) -> int:
+        """Label a single pair, counting the query."""
+        self.num_queries += 1
+        return self._label(pair_index)
+
+    def query_many(self, pair_indices: list[int] | np.ndarray) -> dict[int, int]:
+        """Label many pairs at once; returns index → label."""
+        return {int(index): self.query(int(index)) for index in pair_indices}
+
+
+class PerfectOracle(LabelingOracle):
+    """Returns the gold label of the dataset (the paper's assumption)."""
+
+    def __init__(self, dataset: EMDataset) -> None:
+        super().__init__()
+        self._labels = dataset.pairs.labels()
+        if np.any(self._labels < 0):
+            raise OracleError(
+                f"Dataset {dataset.name!r} has unlabeled pairs; a perfect oracle "
+                "requires gold labels for every candidate pair"
+            )
+
+    def _label(self, pair_index: int) -> int:
+        if not 0 <= pair_index < len(self._labels):
+            raise OracleError(f"Pair index {pair_index} out of range")
+        return int(self._labels[pair_index])
+
+
+class NoisyOracle(LabelingOracle):
+    """A perfect oracle whose answers are flipped with a fixed probability.
+
+    Section 3.6 notes that real annotators are biased; this oracle lets the
+    experiments quantify the sensitivity of each selector to label noise.
+    """
+
+    def __init__(self, dataset: EMDataset, flip_probability: float = 0.05,
+                 random_state: RandomState = None) -> None:
+        super().__init__()
+        if not 0.0 <= flip_probability <= 1.0:
+            raise OracleError("flip_probability must be in [0, 1]")
+        self._base = PerfectOracle(dataset)
+        self.flip_probability = flip_probability
+        self._rng = ensure_rng(random_state)
+
+    def _label(self, pair_index: int) -> int:
+        label = self._base._label(pair_index)
+        if self._rng.random() < self.flip_probability:
+            return 1 - label
+        return label

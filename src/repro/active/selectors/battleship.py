@@ -1,0 +1,340 @@
+"""The battleship selector — the paper's primary contribution (Section 3).
+
+Every iteration the selector:
+
+1. splits the universe by the current matcher's predictions and builds three
+   pair graphs over the pair representations (Section 3.3.3): ``G+`` over the
+   pool pairs predicted *match*, ``G-`` over the pool pairs predicted
+   *non-match*, and the heterogeneous graph ``G`` over everything (labeled and
+   unlabeled);
+2. clusters each node set with constrained K-Means before edge creation
+   (Section 3.3.1) and connects ``q`` nearest neighbours per node plus the top
+   share of remaining intra-cluster pairs (Section 3.3.2);
+3. computes certainty scores on ``G`` (spatial entropy, Eqs. 3–4) and PageRank
+   centrality on the connected components of ``G+`` / ``G-`` (Eq. 5);
+4. splits the budget into ``B+`` / ``B-`` with the decaying positive schedule
+   and distributes each over the connected components proportionally to their
+   size (Eq. 2, Section 3.4);
+5. inside each component, ranks nodes by the weighted combination of the
+   certainty and centrality rankings (Eq. 6) and selects the component's
+   budget worth of pairs;
+6. optionally proposes weak labels: the *most spatially confident* pool pairs
+   (minimizing Eq. 4), again distributed over the components (Section 3.7).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro._rng import ensure_rng, spawn_rng
+from repro.active.budget import cap_budgets_by_size, distribute_budget, split_budget
+from repro.active.selectors.base import SelectionContext, Selector
+from repro.clustering.model_selection import cluster_representations
+from repro.graphs.entropy import certainty_score
+from repro.graphs.pagerank import pagerank
+from repro.graphs.pair_graph import PairGraph, build_pair_graph
+
+
+@dataclass(frozen=True)
+class BattleshipConfig:
+    """Hyper-parameters of the battleship selector.
+
+    Attributes
+    ----------
+    alpha:
+        Weight of the certainty ranking against the centrality ranking in
+        Eq. 6 (``alpha = 1`` is certainty only, ``0`` is centrality only).
+    beta:
+        Weight of the local (model) entropy against the spatial entropy in
+        Eq. 4 (``beta = 1`` is model confidence only, ``0`` spatial only).
+    num_neighbors:
+        ``q``: nearest neighbours connected per node (the paper uses 15).
+    extra_edge_ratio:
+        Share of remaining intra-cluster pairs added as extra edges (3%).
+    min_cluster_fraction / max_cluster_fraction:
+        Cluster-size bounds relative to the node-set size (5%–15%).
+    pagerank_damping:
+        ``ρ`` of Eq. 5.
+    positive_initial_share / positive_decay / positive_floor:
+        Parameters of the positive-budget schedule ``B+ = B * max(initial -
+        decay * i, floor)``.
+    use_correspondence:
+        When ``False`` the prediction-based graph separation and the B+/B-
+        split are disabled (ablation switch; selection then runs on a single
+        graph over the whole pool).
+    """
+
+    alpha: float = 0.5
+    beta: float = 0.5
+    num_neighbors: int = 15
+    extra_edge_ratio: float = 0.03
+    min_cluster_fraction: float = 0.05
+    max_cluster_fraction: float = 0.15
+    pagerank_damping: float = 0.85
+    positive_initial_share: float = 0.8
+    positive_decay: float = 0.05
+    positive_floor: float = 0.5
+    use_correspondence: bool = True
+    random_state: int = 0
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.alpha <= 1.0:
+            raise ValueError("alpha must be in [0, 1]")
+        if not 0.0 <= self.beta <= 1.0:
+            raise ValueError("beta must be in [0, 1]")
+        if self.num_neighbors < 1:
+            raise ValueError("num_neighbors must be >= 1")
+        if not 0.0 <= self.extra_edge_ratio <= 1.0:
+            raise ValueError("extra_edge_ratio must be in [0, 1]")
+
+
+@dataclass
+class _IterationArtifacts:
+    """Graphs and scores computed once per iteration and shared by
+    :meth:`BattleshipSelector.select` and :meth:`BattleshipSelector.select_weak`."""
+
+    iteration: int
+    heterogeneous_graph: PairGraph
+    positive_graph: PairGraph
+    negative_graph: PairGraph
+    certainty: dict[int, float] = field(default_factory=dict)
+    positive_centrality: dict[int, float] = field(default_factory=dict)
+    negative_centrality: dict[int, float] = field(default_factory=dict)
+    positive_components: list[set[int]] = field(default_factory=list)
+    negative_components: list[set[int]] = field(default_factory=list)
+
+
+class BattleshipSelector(Selector):
+    """Space-aware active-learning selection for entity matching."""
+
+    name = "battleship"
+
+    def __init__(self, config: BattleshipConfig | None = None, **overrides: object) -> None:
+        if config is None:
+            config = BattleshipConfig(**overrides)  # type: ignore[arg-type]
+        elif overrides:
+            raise ValueError("Pass either a config object or keyword overrides, not both")
+        self.config = config
+        self._artifacts: _IterationArtifacts | None = None
+
+    # ------------------------------------------------------------------ #
+    # Graph construction
+    # ------------------------------------------------------------------ #
+    def _build_graph(self, context: SelectionContext, positions: np.ndarray,
+                     include_labels: bool, rng: np.random.Generator) -> PairGraph:
+        """Cluster the representations at ``positions`` and build their pair graph."""
+        if len(positions) == 0:
+            return PairGraph()
+        representations = context.representations[positions]
+        predictions = context.predictions[positions].copy()
+        probabilities = context.probabilities[positions].copy()
+        labeled = context.labeled_mask[positions] if include_labels else np.zeros(
+            len(positions), dtype=bool)
+        # Labeled nodes adopt their oracle label with full confidence.
+        if include_labels:
+            labels = context.labels[positions]
+            labeled_positions = np.flatnonzero(labeled)
+            predictions[labeled_positions] = labels[labeled_positions]
+            probabilities[labeled_positions] = labels[labeled_positions].astype(np.float64)
+        confidences = np.where(labeled, 1.0, np.maximum(probabilities, 1.0 - probabilities))
+
+        if len(positions) >= 4:
+            clustering, _ = cluster_representations(
+                representations,
+                min_fraction=self.config.min_cluster_fraction,
+                max_fraction=self.config.max_cluster_fraction,
+                random_state=rng,
+            )
+            cluster_labels = clustering.labels
+        else:
+            cluster_labels = np.zeros(len(positions), dtype=np.int64)
+
+        return build_pair_graph(
+            representations=representations,
+            node_ids=context.universe[positions],
+            predictions=predictions,
+            confidences=confidences,
+            match_probabilities=probabilities,
+            labeled_mask=labeled,
+            cluster_labels=cluster_labels,
+            num_neighbors=self.config.num_neighbors,
+            extra_edge_ratio=self.config.extra_edge_ratio,
+        )
+
+    def _prepare(self, context: SelectionContext) -> _IterationArtifacts:
+        """Compute (or reuse) the per-iteration graphs and scores."""
+        if self._artifacts is not None and self._artifacts.iteration == context.iteration:
+            return self._artifacts
+
+        rng = ensure_rng(self.config.random_state + context.iteration)
+        hetero_rng, plus_rng, minus_rng = spawn_rng(rng, 3)
+
+        pool = context.pool_positions
+        predictions = context.predictions
+        if self.config.use_correspondence:
+            plus_positions = pool[predictions[pool] == 1]
+            minus_positions = pool[predictions[pool] == 0]
+        else:
+            # Ablation: a single prediction-agnostic pool graph (assigned to the
+            # "positive" slot; the negative slot stays empty).
+            plus_positions = pool
+            minus_positions = np.asarray([], dtype=np.int64)
+
+        all_positions = np.arange(len(context.universe))
+        heterogeneous = self._build_graph(context, all_positions, include_labels=True,
+                                          rng=hetero_rng)
+        positive_graph = self._build_graph(context, plus_positions, include_labels=False,
+                                           rng=plus_rng)
+        negative_graph = self._build_graph(context, minus_positions, include_labels=False,
+                                           rng=minus_rng)
+
+        artifacts = _IterationArtifacts(
+            iteration=context.iteration,
+            heterogeneous_graph=heterogeneous,
+            positive_graph=positive_graph,
+            negative_graph=negative_graph,
+        )
+        # Certainty (Eq. 4) on the heterogeneous graph, pool nodes only.
+        for position in pool:
+            node_id = int(context.universe[position])
+            artifacts.certainty[node_id] = certainty_score(
+                heterogeneous, node_id, beta=self.config.beta)
+        # Centrality (Eq. 5) per connected component of the prediction graphs.
+        artifacts.positive_components = positive_graph.connected_components()
+        artifacts.negative_components = negative_graph.connected_components()
+        for components, graph, target in (
+            (artifacts.positive_components, positive_graph, artifacts.positive_centrality),
+            (artifacts.negative_components, negative_graph, artifacts.negative_centrality),
+        ):
+            for component in components:
+                target.update(pagerank(graph, nodes=sorted(component),
+                                       damping=self.config.pagerank_damping))
+        self._artifacts = artifacts
+        return artifacts
+
+    # ------------------------------------------------------------------ #
+    # Selection
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def _ranking(scores: dict[int, float]) -> dict[int, int]:
+        """Rank node ids by descending score (rank 1 = highest score)."""
+        ordered = sorted(scores, key=lambda node: scores[node], reverse=True)
+        return {node: rank for rank, node in enumerate(ordered, start=1)}
+
+    def _select_from_components(
+        self,
+        components: list[set[int]],
+        budgets: dict[int, int],
+        certainty: dict[int, float],
+        centrality: dict[int, float],
+    ) -> list[int]:
+        """Pick each component's budget worth of nodes by the weighted rank (Eq. 6)."""
+        selected: list[int] = []
+        for component_id, component in enumerate(components):
+            budget = budgets.get(component_id, 0)
+            if budget <= 0:
+                continue
+            members = [node for node in component if node in certainty]
+            if not members:
+                continue
+            certainty_rank = self._ranking({node: certainty[node] for node in members})
+            centrality_rank = self._ranking(
+                {node: centrality.get(node, 0.0) for node in members})
+            combined = {
+                node: (self.config.alpha * certainty_rank[node]
+                       + (1.0 - self.config.alpha) * centrality_rank[node])
+                for node in members
+            }
+            ordered = sorted(members, key=lambda node: (combined[node], node))
+            selected.extend(ordered[:budget])
+        return selected
+
+    def select(self, context: SelectionContext) -> list[int]:
+        if context.budget <= 0:
+            return []
+        pool = context.pool_indices()
+        if len(pool) == 0:
+            return []
+        artifacts = self._prepare(context)
+
+        positive_budget_total, negative_budget_total = split_budget(
+            context.budget, context.iteration,
+            initial_share=self.config.positive_initial_share,
+            decay=self.config.positive_decay,
+            floor=self.config.positive_floor,
+        )
+        if not self.config.use_correspondence:
+            positive_budget_total, negative_budget_total = context.budget, 0
+
+        selection_rng = ensure_rng(self.config.random_state + 1000 + context.iteration)
+        selected: list[int] = []
+        for components, centrality, budget_total in (
+            (artifacts.positive_components, artifacts.positive_centrality,
+             positive_budget_total),
+            (artifacts.negative_components, artifacts.negative_centrality,
+             negative_budget_total),
+        ):
+            if budget_total <= 0 or not components:
+                continue
+            sizes = {component_id: len(component)
+                     for component_id, component in enumerate(components)}
+            budgets = distribute_budget(sizes, budget_total, random_state=selection_rng)
+            budgets = cap_budgets_by_size(budgets, sizes)
+            selected.extend(self._select_from_components(
+                components, budgets, artifacts.certainty, centrality))
+
+        # Deduplicate while preserving order and top up from the overall
+        # certainty ranking when one side could not absorb its budget.
+        unique: list[int] = []
+        seen: set[int] = set()
+        for node in selected:
+            if node not in seen:
+                unique.append(node)
+                seen.add(node)
+        if len(unique) < context.budget:
+            fallback = sorted(artifacts.certainty,
+                              key=lambda node: -artifacts.certainty[node])
+            for node in fallback:
+                if node not in seen:
+                    unique.append(node)
+                    seen.add(node)
+                if len(unique) >= context.budget:
+                    break
+        return unique[:context.budget]
+
+    # ------------------------------------------------------------------ #
+    # Weak supervision (Section 3.7)
+    # ------------------------------------------------------------------ #
+    def select_weak(self, context: SelectionContext, budget: int) -> dict[int, int]:
+        if budget <= 0:
+            return {}
+        artifacts = self._prepare(context)
+        already_selected = set()  # weak labels may overlap nothing labeled
+        weak_rng = ensure_rng(self.config.random_state + 2000 + context.iteration)
+
+        weak: dict[int, int] = {}
+        per_class = budget // 2
+        for components, label, class_budget in (
+            (artifacts.positive_components, 1, per_class),
+            (artifacts.negative_components, 0, budget - per_class),
+        ):
+            if class_budget <= 0 or not components:
+                continue
+            sizes = {component_id: len(component)
+                     for component_id, component in enumerate(components)}
+            budgets = distribute_budget(sizes, class_budget, random_state=weak_rng)
+            budgets = cap_budgets_by_size(budgets, sizes)
+            for component_id, component in enumerate(components):
+                share = budgets.get(component_id, 0)
+                if share <= 0:
+                    continue
+                members = [node for node in component
+                           if node in artifacts.certainty and node not in already_selected]
+                # Most confident = smallest certainty (entropy) score.
+                ordered = sorted(members, key=lambda node: (artifacts.certainty[node], node))
+                for node in ordered[:share]:
+                    weak[node] = label
+                    already_selected.add(node)
+        return weak

@@ -1,0 +1,23 @@
+"""The Random baseline: uniform sampling from the pool (Section 4.3)."""
+
+from __future__ import annotations
+
+from repro.active.selectors.base import SelectionContext, Selector
+
+
+class RandomSelector(Selector):
+    """Selects ``budget`` pool pairs uniformly at random.
+
+    Ignores both the matcher's predictions and the pair representations; this
+    is the naive baseline of the paper.
+    """
+
+    name = "random"
+
+    def select(self, context: SelectionContext) -> list[int]:
+        pool = context.pool_indices()
+        if len(pool) == 0:
+            return []
+        budget = min(context.budget, len(pool))
+        chosen = context.rng.choice(pool, size=budget, replace=False)
+        return [int(index) for index in chosen]

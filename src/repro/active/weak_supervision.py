@@ -1,0 +1,66 @@
+"""Weak-supervision modes (Section 3.7).
+
+The training set of every iteration is augmented — without spending labeling
+budget — with pool pairs whose predicted label is adopted as a weak label.
+Two strategies exist in the paper:
+
+* ``entropy`` — DAL's method: the pool pairs with the lowest conditional
+  entropy (most confident model predictions), class balanced;
+* ``spatial`` — the battleship method: the pairs minimizing the spatial
+  certainty score (Eq. 4), distributed over connected components with the
+  Section 3.4 budget policy.
+
+The ``spatial`` strategy is implemented by
+:meth:`repro.active.selectors.battleship.BattleshipSelector.select_weak`;
+the ``entropy`` strategy by
+:func:`repro.active.selectors.base.entropy_weak_selection`.  This module only
+defines the mode names and dispatch used by the loop, so that e.g. Figure 10
+(battleship with DAL's weak supervision) is a one-argument change.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+
+from repro.active.selectors.base import SelectionContext, Selector, entropy_weak_selection
+from repro.exceptions import ConfigurationError
+
+
+class WeakSupervisionMode(str, Enum):
+    """How weak labels are chosen each iteration."""
+
+    #: No weak supervision (the "-WS" ablation of Figure 9).
+    OFF = "off"
+    #: Use the selector's own strategy (spatial for battleship, entropy otherwise).
+    SELECTOR = "selector"
+    #: Force DAL's entropy-based strategy regardless of the selector (Figure 10).
+    ENTROPY = "entropy"
+
+
+def resolve_mode(mode: WeakSupervisionMode | str | None) -> WeakSupervisionMode:
+    """Normalize a mode given as enum, string, or ``None`` (→ ``SELECTOR``)."""
+    if mode is None:
+        return WeakSupervisionMode.SELECTOR
+    if isinstance(mode, WeakSupervisionMode):
+        return mode
+    try:
+        return WeakSupervisionMode(str(mode).strip().lower())
+    except ValueError:
+        raise ConfigurationError(
+            f"Unknown weak-supervision mode {mode!r}; expected one of "
+            f"{[m.value for m in WeakSupervisionMode]}"
+        ) from None
+
+
+def select_weak_labels(
+    mode: WeakSupervisionMode,
+    selector: Selector,
+    context: SelectionContext,
+    budget: int,
+) -> dict[int, int]:
+    """Dispatch weak-label selection according to ``mode``."""
+    if mode is WeakSupervisionMode.OFF or budget <= 0:
+        return {}
+    if mode is WeakSupervisionMode.ENTROPY:
+        return entropy_weak_selection(context, budget)
+    return selector.select_weak(context, budget)

@@ -1,0 +1,6 @@
+"""Nearest-neighbour search substrate (FAISS stand-in)."""
+
+from repro.ann.exact import ExactNearestNeighbors
+from repro.ann.lsh import LSHNearestNeighbors
+
+__all__ = ["ExactNearestNeighbors", "LSHNearestNeighbors"]

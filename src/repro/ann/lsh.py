@@ -1,0 +1,100 @@
+"""Approximate nearest-neighbour search with random-hyperplane LSH.
+
+Section 5.2 of the paper notes that LSH / HNSW could reduce the cost of the
+K-Means-plus-graph pipeline.  This index implements the classic random
+hyperplane (SimHash) scheme for cosine similarity: vectors with small angular
+distance are likely to share hash buckets, so candidate neighbours are drawn
+from matching buckets across several hash tables and re-ranked exactly.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+import numpy as np
+
+from repro._rng import RandomState, ensure_rng
+from repro.ann.exact import _normalize_rows
+from repro.exceptions import NotFittedError
+
+
+class LSHNearestNeighbors:
+    """Random-hyperplane LSH index for cosine similarity.
+
+    Parameters
+    ----------
+    num_tables:
+        Number of independent hash tables; more tables raise recall.
+    num_bits:
+        Hash length per table; more bits shrink buckets (higher precision).
+    """
+
+    def __init__(self, num_tables: int = 8, num_bits: int = 12,
+                 random_state: RandomState = None) -> None:
+        if num_tables <= 0 or num_bits <= 0:
+            raise ValueError("num_tables and num_bits must be positive")
+        self.num_tables = num_tables
+        self.num_bits = num_bits
+        self._rng = ensure_rng(random_state)
+        self._hyperplanes: np.ndarray | None = None
+        self._tables: list[dict[int, list[int]]] | None = None
+        self._vectors: np.ndarray | None = None
+
+    def _hash(self, vectors: np.ndarray, table: int) -> np.ndarray:
+        """Integer hash codes of ``vectors`` under the hyperplanes of ``table``."""
+        assert self._hyperplanes is not None
+        planes = self._hyperplanes[table]
+        bits = (vectors @ planes.T) > 0
+        powers = 1 << np.arange(self.num_bits)
+        return bits @ powers
+
+    def build(self, vectors: np.ndarray) -> "LSHNearestNeighbors":
+        """Index ``vectors`` (one row per item)."""
+        vectors = _normalize_rows(np.asarray(vectors, dtype=np.float64))
+        if vectors.ndim != 2:
+            raise ValueError("vectors must be 2-dimensional")
+        dim = vectors.shape[1]
+        self._hyperplanes = self._rng.normal(size=(self.num_tables, self.num_bits, dim))
+        self._tables = []
+        for table in range(self.num_tables):
+            buckets: dict[int, list[int]] = defaultdict(list)
+            codes = self._hash(vectors, table)
+            for index, code in enumerate(codes):
+                buckets[int(code)].append(index)
+            self._tables.append(dict(buckets))
+        self._vectors = vectors
+        return self
+
+    def query(self, queries: np.ndarray, k: int,
+              exclude_self: bool = False) -> tuple[np.ndarray, np.ndarray]:
+        """Approximate top-``k`` neighbours of each query row.
+
+        Candidates are the union of the query's buckets across all tables,
+        re-ranked by exact cosine similarity.  Rows with fewer than ``k``
+        candidates are padded with ``-1`` indices and ``-inf`` similarities.
+        """
+        if self._vectors is None or self._tables is None:
+            raise NotFittedError("LSHNearestNeighbors.build must be called first")
+        if k <= 0:
+            raise ValueError("k must be positive")
+        queries = _normalize_rows(np.atleast_2d(np.asarray(queries, dtype=np.float64)))
+        n_queries = len(queries)
+        indices = np.full((n_queries, k), -1, dtype=np.int64)
+        similarities = np.full((n_queries, k), -np.inf, dtype=np.float64)
+
+        for row in range(n_queries):
+            candidates: set[int] = set()
+            for table in range(self.num_tables):
+                code = int(self._hash(queries[row:row + 1], table)[0])
+                candidates.update(self._tables[table].get(code, ()))
+            if exclude_self:
+                candidates.discard(row)
+            if not candidates:
+                continue
+            candidate_list = sorted(candidates)
+            scores = self._vectors[candidate_list] @ queries[row]
+            order = np.argsort(-scores)[:k]
+            chosen = [candidate_list[i] for i in order]
+            indices[row, :len(chosen)] = chosen
+            similarities[row, :len(chosen)] = scores[order]
+        return indices, similarities

@@ -1,0 +1,12 @@
+"""Non-active-learning baselines: ZeroER (unsupervised) and Full D (fully trained)."""
+
+from repro.baselines.full_training import FullTrainingResult, evaluate_zeroer, train_full_matcher
+from repro.baselines.zeroer import TwoComponentGaussianMixture, ZeroER
+
+__all__ = [
+    "FullTrainingResult",
+    "TwoComponentGaussianMixture",
+    "ZeroER",
+    "evaluate_zeroer",
+    "train_full_matcher",
+]

@@ -1,0 +1,76 @@
+"""The "Full D" baseline: training the matcher on the complete training split.
+
+Section 4.3 compares the active-learning methods against a matcher trained
+with the entire labeled training set — the no-resource-limit upper reference.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro._rng import RandomState
+from repro.data.dataset import EMDataset
+from repro.evaluation.metrics import MatchingMetrics, matching_metrics
+from repro.neural.featurizer import FeaturizerConfig, PairFeaturizer
+from repro.neural.matcher import MatcherConfig, NeuralMatcher
+
+
+@dataclass
+class FullTrainingResult:
+    """Outcome of a Full D run."""
+
+    dataset_name: str
+    num_training_labels: int
+    test_metrics: MatchingMetrics
+    matcher: NeuralMatcher
+
+    @property
+    def f1(self) -> float:
+        return self.test_metrics.f1
+
+
+def train_full_matcher(
+    dataset: EMDataset,
+    matcher_config: MatcherConfig | None = None,
+    featurizer_config: FeaturizerConfig | None = None,
+) -> FullTrainingResult:
+    """Train on the full train split and evaluate on the test split (Full D)."""
+    featurizer = PairFeaturizer(featurizer_config)
+    features = featurizer.transform(dataset)
+
+    train_indices = dataset.train_indices
+    validation_indices = dataset.validation_indices
+    test_indices = dataset.test_indices
+
+    matcher = NeuralMatcher(input_dim=features.shape[1],
+                            config=matcher_config or MatcherConfig())
+    matcher.fit(
+        features[train_indices], dataset.labels(train_indices),
+        validation_features=features[validation_indices],
+        validation_labels=dataset.labels(validation_indices),
+    )
+    predictions = matcher.predict(features[test_indices])
+    metrics = matching_metrics(dataset.labels(test_indices), predictions)
+    return FullTrainingResult(
+        dataset_name=dataset.name,
+        num_training_labels=len(train_indices),
+        test_metrics=metrics,
+        matcher=matcher,
+    )
+
+
+def evaluate_zeroer(dataset: EMDataset, random_state: RandomState = None) -> MatchingMetrics:
+    """Fit ZeroER on the train+test pool and report test-split metrics.
+
+    Convenience wrapper used by the Table 4 harness: the paper reports ZeroER
+    on the same held-out test set as the other methods.
+    """
+    from repro.baselines.zeroer import ZeroER  # local import avoids a cycle
+
+    model = ZeroER(random_state=random_state)
+    pool = np.concatenate([dataset.train_indices, dataset.test_indices])
+    model.fit(dataset, pool)
+    predictions = model.predict(dataset, dataset.test_indices)
+    return matching_metrics(dataset.labels(dataset.test_indices), predictions)

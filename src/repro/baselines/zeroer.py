@@ -1,0 +1,169 @@
+"""ZeroER baseline (Wu et al., 2020): entity resolution with zero labeled examples.
+
+ZeroER assumes that the similarity feature vectors of match pairs are
+distributed differently from those of non-match pairs, and fits a
+two-component generative mixture to the *unlabeled* feature vectors; the
+component with the higher mean similarity is interpreted as the match class.
+
+This reimplementation uses attribute-wise similarity features (the same
+model-agnostic features the original system builds with Magellan) and a
+diagonal-covariance Gaussian mixture fitted by expectation-maximization,
+written from scratch on NumPy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro._rng import RandomState, ensure_rng
+from repro.data.dataset import EMDataset
+from repro.exceptions import NotFittedError
+from repro.neural.featurizer import FeaturizerConfig, PairFeaturizer
+
+_EPSILON = 1e-9
+
+
+@dataclass
+class GaussianMixtureResult:
+    """Fitted parameters of the two-component diagonal Gaussian mixture."""
+
+    means: np.ndarray
+    variances: np.ndarray
+    weights: np.ndarray
+    log_likelihood: float
+    num_iterations: int
+
+
+class TwoComponentGaussianMixture:
+    """Diagonal-covariance GMM with exactly two components, fitted by EM."""
+
+    def __init__(self, max_iterations: int = 200, tolerance: float = 1e-6,
+                 random_state: RandomState = None) -> None:
+        self.max_iterations = max_iterations
+        self.tolerance = tolerance
+        self.random_state = random_state
+        self.result: GaussianMixtureResult | None = None
+
+    @staticmethod
+    def _log_gaussian(features: np.ndarray, mean: np.ndarray,
+                      variance: np.ndarray) -> np.ndarray:
+        """Log density of a diagonal Gaussian for every row of ``features``."""
+        variance = np.maximum(variance, _EPSILON)
+        log_norm = -0.5 * np.sum(np.log(2.0 * np.pi * variance))
+        deviation = features - mean
+        return log_norm - 0.5 * np.sum(deviation * deviation / variance, axis=1)
+
+    def fit(self, features: np.ndarray) -> GaussianMixtureResult:
+        """Fit the mixture to ``features`` and return the parameters."""
+        features = np.asarray(features, dtype=np.float64)
+        if features.ndim != 2 or len(features) < 4:
+            raise ValueError("features must be a 2-D array with at least 4 rows")
+        rng = ensure_rng(self.random_state)
+        n, d = features.shape
+
+        # Initialize by splitting on the mean total similarity: rows above the
+        # overall mean seed the "match" component, the rest the "non-match".
+        totals = features.mean(axis=1)
+        threshold = float(np.median(totals))
+        high = features[totals >= threshold]
+        low = features[totals < threshold]
+        if len(high) == 0 or len(low) == 0:
+            split = rng.random(n) < 0.5
+            high, low = features[split], features[~split]
+        means = np.vstack([low.mean(axis=0), high.mean(axis=0)])
+        variances = np.vstack([low.var(axis=0) + _EPSILON, high.var(axis=0) + _EPSILON])
+        weights = np.array([len(low) / n, len(high) / n])
+
+        previous_log_likelihood = -np.inf
+        responsibilities = np.zeros((n, 2))
+        iteration = 0
+        for iteration in range(1, self.max_iterations + 1):
+            # E step.
+            log_densities = np.column_stack([
+                np.log(weights[0] + _EPSILON) + self._log_gaussian(features, means[0], variances[0]),
+                np.log(weights[1] + _EPSILON) + self._log_gaussian(features, means[1], variances[1]),
+            ])
+            max_log = log_densities.max(axis=1, keepdims=True)
+            normalized = np.exp(log_densities - max_log)
+            totals = normalized.sum(axis=1, keepdims=True)
+            responsibilities = normalized / totals
+            log_likelihood = float(np.sum(np.log(totals.reshape(-1)) + max_log.reshape(-1)))
+
+            # M step.
+            for component in range(2):
+                resp = responsibilities[:, component]
+                mass = resp.sum() + _EPSILON
+                means[component] = (resp[:, None] * features).sum(axis=0) / mass
+                deviation = features - means[component]
+                variances[component] = (resp[:, None] * deviation * deviation).sum(axis=0) / mass
+                variances[component] = np.maximum(variances[component], _EPSILON)
+                weights[component] = mass / n
+
+            if abs(log_likelihood - previous_log_likelihood) < self.tolerance:
+                previous_log_likelihood = log_likelihood
+                break
+            previous_log_likelihood = log_likelihood
+
+        self.result = GaussianMixtureResult(
+            means=means, variances=variances, weights=weights,
+            log_likelihood=previous_log_likelihood, num_iterations=iteration,
+        )
+        return self.result
+
+    def posterior_match(self, features: np.ndarray) -> np.ndarray:
+        """Posterior probability of the high-similarity (match) component."""
+        if self.result is None:
+            raise NotFittedError("fit must be called before posterior_match")
+        features = np.asarray(features, dtype=np.float64)
+        means, variances, weights = (self.result.means, self.result.variances,
+                                     self.result.weights)
+        # The match component is the one with the larger mean feature vector.
+        match_component = int(np.argmax(means.mean(axis=1)))
+        other = 1 - match_component
+        log_match = (np.log(weights[match_component] + _EPSILON)
+                     + self._log_gaussian(features, means[match_component],
+                                          variances[match_component]))
+        log_other = (np.log(weights[other] + _EPSILON)
+                     + self._log_gaussian(features, means[other], variances[other]))
+        stacked = np.column_stack([log_match, log_other])
+        max_log = stacked.max(axis=1, keepdims=True)
+        normalized = np.exp(stacked - max_log)
+        return normalized[:, 0] / normalized.sum(axis=1)
+
+
+class ZeroER:
+    """Unsupervised matcher over similarity feature vectors."""
+
+    name = "zeroer"
+
+    def __init__(self, random_state: RandomState = None) -> None:
+        # ZeroER uses only similarity features (no hashed text), matching the
+        # model-agnostic feature vectors of the original system.
+        self._featurizer = PairFeaturizer(FeaturizerConfig(
+            include_raw=False, include_interactions=False, include_similarities=True,
+            hash_dim=8,
+        ))
+        self._mixture = TwoComponentGaussianMixture(random_state=random_state)
+        self._fitted = False
+
+    def fit(self, dataset: EMDataset, indices: np.ndarray | None = None) -> "ZeroER":
+        """Fit the mixture on (unlabeled) candidate pairs of ``dataset``."""
+        features = self._featurizer.transform(dataset, indices)
+        self._mixture.fit(features)
+        self._fitted = True
+        return self
+
+    def predict_proba(self, dataset: EMDataset,
+                      indices: np.ndarray | None = None) -> np.ndarray:
+        """Posterior match probabilities for the pairs at ``indices``."""
+        if not self._fitted:
+            raise NotFittedError("ZeroER.fit must be called before predict_proba")
+        features = self._featurizer.transform(dataset, indices)
+        return self._mixture.posterior_match(features)
+
+    def predict(self, dataset: EMDataset, indices: np.ndarray | None = None,
+                threshold: float = 0.5) -> np.ndarray:
+        """Hard match / non-match predictions."""
+        return (self.predict_proba(dataset, indices) >= threshold).astype(np.int64)

@@ -1,0 +1,18 @@
+"""Blocking substrate: token, q-gram, and MinHash-LSH blockers plus evaluation."""
+
+from repro.blocking.base import Blocker, record_blocking_text
+from repro.blocking.evaluation import BlockingReport, evaluate_blocking
+from repro.blocking.minhash_lsh import MinHashLSHBlocker, MinHashSignature
+from repro.blocking.qgram_blocking import QGramBlocker
+from repro.blocking.token_blocking import TokenBlocker
+
+__all__ = [
+    "Blocker",
+    "BlockingReport",
+    "MinHashLSHBlocker",
+    "MinHashSignature",
+    "QGramBlocker",
+    "TokenBlocker",
+    "evaluate_blocking",
+    "record_blocking_text",
+]

@@ -1,0 +1,54 @@
+"""Blocking: reducing the quadratic candidate pair space.
+
+The paper assumes candidate pairs are given (the matching phase is its focus),
+but blocking is still part of the substrate: the DIAL baseline co-learns a
+blocker, the synthetic benchmarks emulate a blocker's output through
+family-based hard negatives, and real datasets loaded through
+:mod:`repro.data.io` may need candidate generation.  A :class:`Blocker` maps
+two tables to a set of candidate ``(left_id, right_id)`` keys.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Iterable
+
+from repro.data.pair import CandidatePair, PairSet
+from repro.data.record import Record, Table
+
+
+class Blocker(abc.ABC):
+    """Base class for blocking strategies."""
+
+    @abc.abstractmethod
+    def block(self, left: Table, right: Table) -> set[tuple[str, str]]:
+        """Return candidate ``(left_id, right_id)`` keys."""
+
+    def candidate_pairs(
+        self,
+        left: Table,
+        right: Table,
+        labels: dict[tuple[str, str], int] | None = None,
+        prefix: str = "b",
+    ) -> PairSet:
+        """Materialize the blocked keys into a :class:`PairSet`.
+
+        Parameters
+        ----------
+        labels:
+            Optional gold labels keyed by ``(left_id, right_id)``; keys absent
+            from the mapping produce unlabeled pairs.
+        """
+        labels = labels or {}
+        pairs = PairSet()
+        for index, (left_id, right_id) in enumerate(sorted(self.block(left, right))):
+            label = labels.get((left_id, right_id))
+            pairs.add(CandidatePair(f"{prefix}{index}", left_id, right_id, label))
+        return pairs
+
+
+def record_blocking_text(record: Record, attributes: Iterable[str] | None = None) -> str:
+    """Concatenate the attribute values a blocker keys on."""
+    if attributes is None:
+        return record.text()
+    return record.text(attributes)

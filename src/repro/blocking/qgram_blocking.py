@@ -1,0 +1,62 @@
+"""Character q-gram blocking: robust to typos in the blocking key."""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Iterable
+
+from repro.blocking.base import Blocker, record_blocking_text
+from repro.data.record import Table
+from repro.text.tokenization import qgram_set
+
+
+class QGramBlocker(Blocker):
+    """Blocking on shared character q-grams with a minimum-overlap threshold.
+
+    Two records become a candidate pair when they share at least
+    ``min_shared_qgrams`` q-grams that are not stop grams.  Compared to token
+    blocking this tolerates typos (a single character edit invalidates at most
+    ``q`` grams) at the cost of more candidates.
+    """
+
+    def __init__(
+        self,
+        attributes: Iterable[str] | None = None,
+        q: int = 3,
+        min_shared_qgrams: int = 2,
+        max_block_size: int = 400,
+    ) -> None:
+        if q < 1:
+            raise ValueError("q must be >= 1")
+        if min_shared_qgrams < 1:
+            raise ValueError("min_shared_qgrams must be >= 1")
+        if max_block_size < 1:
+            raise ValueError("max_block_size must be >= 1")
+        self.attributes = tuple(attributes) if attributes is not None else None
+        self.q = q
+        self.min_shared_qgrams = min_shared_qgrams
+        self.max_block_size = max_block_size
+
+    def _index(self, table: Table) -> dict[str, set[str]]:
+        index: dict[str, set[str]] = defaultdict(set)
+        for record in table:
+            text = record_blocking_text(record, self.attributes)
+            for gram in qgram_set(text, q=self.q):
+                index[gram].add(record.record_id)
+        return index
+
+    def block(self, left: Table, right: Table) -> set[tuple[str, str]]:
+        left_index = self._index(left)
+        right_index = self._index(right)
+        shared_counts: dict[tuple[str, str], int] = defaultdict(int)
+        for gram, left_ids in left_index.items():
+            right_ids = right_index.get(gram)
+            if not right_ids:
+                continue
+            if len(left_ids) > self.max_block_size or len(right_ids) > self.max_block_size:
+                continue
+            for left_id in left_ids:
+                for right_id in right_ids:
+                    shared_counts[(left_id, right_id)] += 1
+        return {key for key, count in shared_counts.items()
+                if count >= self.min_shared_qgrams}

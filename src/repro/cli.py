@@ -1,0 +1,156 @@
+"""Command-line interface.
+
+Exposes the most common workflows without writing Python::
+
+    python -m repro datasets                       # list benchmarks + statistics
+    python -m repro run --dataset amazon_google --selector battleship \
+        --iterations 3 --budget 20 --scale tiny    # one active-learning campaign
+    python -m repro full --dataset amazon_google --scale tiny
+    python -m repro export --dataset wdc_cameras --output ./wdc_cameras_csv
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from repro.active.loop import ActiveLearningLoop
+from repro.active.selectors import (
+    BattleshipSelector,
+    CommitteeSelector,
+    EntropySelector,
+    RandomSelector,
+    Selector,
+)
+from repro.baselines.full_training import train_full_matcher
+from repro.config import available_scales
+from repro.data.io import export_dataset
+from repro.datasets.registry import available_benchmarks, load_benchmark
+from repro.evaluation.reporting import format_table
+from repro.neural.featurizer import FeaturizerConfig
+from repro.neural.matcher import MatcherConfig
+
+_SELECTORS = {
+    "battleship": lambda args: BattleshipSelector(alpha=args.alpha, beta=args.beta),
+    "dal": lambda args: EntropySelector(),
+    "dial": lambda args: CommitteeSelector(),
+    "random": lambda args: RandomSelector(),
+}
+
+
+def _matcher_config(args: argparse.Namespace) -> MatcherConfig:
+    return MatcherConfig(hidden_dims=(96, 48), epochs=args.epochs, batch_size=16,
+                         learning_rate=2e-3, random_state=args.seed)
+
+
+def _featurizer_config() -> FeaturizerConfig:
+    return FeaturizerConfig(hash_dim=128)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Create the argument parser for the ``repro`` command."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction of the battleship approach to low-resource entity matching",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    datasets = subparsers.add_parser("datasets", help="List the available benchmarks")
+    datasets.add_argument("--scale", default="tiny", choices=available_scales())
+    datasets.add_argument("--seed", type=int, default=7)
+
+    run = subparsers.add_parser("run", help="Run one active-learning campaign")
+    run.add_argument("--dataset", required=True, choices=available_benchmarks())
+    run.add_argument("--selector", default="battleship", choices=sorted(_SELECTORS))
+    run.add_argument("--scale", default="tiny", choices=available_scales())
+    run.add_argument("--iterations", type=int, default=3)
+    run.add_argument("--budget", type=int, default=20)
+    run.add_argument("--seed-size", type=int, default=None)
+    run.add_argument("--alpha", type=float, default=0.5)
+    run.add_argument("--beta", type=float, default=0.5)
+    run.add_argument("--epochs", type=int, default=8)
+    run.add_argument("--no-weak-supervision", action="store_true")
+    run.add_argument("--seed", type=int, default=7)
+
+    full = subparsers.add_parser("full", help="Train the Full D reference model")
+    full.add_argument("--dataset", required=True, choices=available_benchmarks())
+    full.add_argument("--scale", default="tiny", choices=available_scales())
+    full.add_argument("--epochs", type=int, default=8)
+    full.add_argument("--seed", type=int, default=7)
+
+    export = subparsers.add_parser("export", help="Export a benchmark as CSV files")
+    export.add_argument("--dataset", required=True, choices=available_benchmarks())
+    export.add_argument("--scale", default="tiny", choices=available_scales())
+    export.add_argument("--output", required=True)
+    export.add_argument("--seed", type=int, default=7)
+
+    return parser
+
+
+def _command_datasets(args: argparse.Namespace) -> int:
+    rows = []
+    for name in available_benchmarks():
+        dataset = load_benchmark(name, scale=args.scale, random_state=args.seed)
+        rows.append(dataset.statistics().as_row())
+    print(format_table(rows, title=f"Available benchmarks (scale={args.scale})"))
+    return 0
+
+
+def _command_run(args: argparse.Namespace) -> int:
+    dataset = load_benchmark(args.dataset, scale=args.scale, random_state=args.seed)
+    selector: Selector = _SELECTORS[args.selector](args)
+    loop = ActiveLearningLoop(
+        dataset=dataset,
+        selector=selector,
+        matcher_config=_matcher_config(args),
+        featurizer_config=_featurizer_config(),
+        iterations=args.iterations,
+        budget_per_iteration=args.budget,
+        seed_size=args.seed_size if args.seed_size is not None else args.budget,
+        weak_supervision="off" if args.no_weak_supervision else "selector",
+        random_state=args.seed,
+    )
+    result = loop.run()
+    print(format_table(result.as_rows(),
+                       title=f"{args.selector} on {args.dataset} (scale={args.scale})"))
+    curve = result.learning_curve()
+    print(f"\nfinal F1: {curve.final_f1 * 100:.2f}%   AUC: {curve.auc():.2f}")
+    return 0
+
+
+def _command_full(args: argparse.Namespace) -> int:
+    dataset = load_benchmark(args.dataset, scale=args.scale, random_state=args.seed)
+    result = train_full_matcher(dataset, _matcher_config(args), _featurizer_config())
+    print(f"Full D on {args.dataset} (scale={args.scale}): "
+          f"{result.num_training_labels} training labels, "
+          f"F1={result.f1 * 100:.2f}%  precision={result.test_metrics.precision * 100:.2f}%  "
+          f"recall={result.test_metrics.recall * 100:.2f}%")
+    return 0
+
+
+def _command_export(args: argparse.Namespace) -> int:
+    dataset = load_benchmark(args.dataset, scale=args.scale, random_state=args.seed)
+    written = export_dataset(dataset, args.output)
+    for name, path in written.items():
+        print(f"{name}: {path}")
+    return 0
+
+
+_COMMANDS = {
+    "datasets": _command_datasets,
+    "run": _command_run,
+    "full": _command_full,
+    "export": _command_export,
+}
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """Entry point of ``python -m repro``."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

@@ -1,0 +1,29 @@
+"""Clustering substrate: K-Means, constrained K-Means, Kneedle, silhouette."""
+
+from repro.clustering.constrained import ConstrainedKMeans, SizeConstraints
+from repro.clustering.kmeans import KMeans, KMeansResult, average_cluster_sse, kmeans_plus_plus_init
+from repro.clustering.kneedle import find_knee, find_knee_index
+from repro.clustering.model_selection import (
+    ClusterSelection,
+    candidate_cluster_counts,
+    cluster_representations,
+    select_num_clusters,
+)
+from repro.clustering.silhouette import silhouette_samples, silhouette_score
+
+__all__ = [
+    "ClusterSelection",
+    "ConstrainedKMeans",
+    "KMeans",
+    "KMeansResult",
+    "SizeConstraints",
+    "average_cluster_sse",
+    "candidate_cluster_counts",
+    "cluster_representations",
+    "find_knee",
+    "find_knee_index",
+    "kmeans_plus_plus_init",
+    "select_num_clusters",
+    "silhouette_samples",
+    "silhouette_score",
+]

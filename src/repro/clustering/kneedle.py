@@ -1,0 +1,95 @@
+"""The Kneedle knee/elbow detection algorithm (Satopää et al., 2011).
+
+The paper selects the number of clusters ``k`` by running K-Means for a range
+of candidate values, recording the average within-cluster sum of squared
+distances, and handing the resulting curve to Kneedle (Section 3.3.1).  When
+Kneedle fails to find a knee, the silhouette score breaks the tie.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def _normalize(values: np.ndarray) -> np.ndarray:
+    """Min-max normalize ``values`` to [0, 1] (constant input maps to zeros)."""
+    values = np.asarray(values, dtype=np.float64)
+    low, high = float(values.min()), float(values.max())
+    if high - low == 0:
+        return np.zeros_like(values)
+    return (values - low) / (high - low)
+
+
+def find_knee(
+    x: np.ndarray,
+    y: np.ndarray,
+    sensitivity: float = 1.0,
+    decreasing: bool = True,
+) -> float | None:
+    """Return the x-coordinate of the knee of the curve ``y = f(x)``.
+
+    Parameters
+    ----------
+    x, y:
+        Curve samples; ``x`` must be strictly increasing.
+    sensitivity:
+        Kneedle's ``S`` parameter; larger values require a more pronounced knee.
+    decreasing:
+        ``True`` for elbow detection on decreasing curves (the SSE-vs-k curve),
+        ``False`` for knees of increasing curves.
+
+    Returns
+    -------
+    The x value of the detected knee, or ``None`` when no knee exists.
+    """
+    x = np.asarray(x, dtype=np.float64)
+    y = np.asarray(y, dtype=np.float64)
+    if x.shape != y.shape:
+        raise ValueError("x and y must have the same shape")
+    if len(x) < 3:
+        return None
+    if np.any(np.diff(x) <= 0):
+        raise ValueError("x must be strictly increasing")
+    if sensitivity < 0:
+        raise ValueError("sensitivity must be >= 0")
+
+    x_norm = _normalize(x)
+    y_norm = _normalize(y)
+    if decreasing:
+        # Transform a decreasing "elbow" curve into an increasing "knee" curve.
+        y_norm = 1.0 - y_norm
+
+    # Difference curve: distance of the normalized curve above the diagonal.
+    difference = y_norm - x_norm
+    maxima = [
+        i for i in range(1, len(difference) - 1)
+        if difference[i] >= difference[i - 1] and difference[i] >= difference[i + 1]
+    ]
+    if not maxima:
+        return None
+
+    # Kneedle threshold for each local maximum.
+    mean_spacing = float(np.mean(np.diff(x_norm)))
+    best_knee: float | None = None
+    for position, index in enumerate(maxima):
+        threshold = difference[index] - sensitivity * mean_spacing
+        # The candidate is a knee if the difference curve drops below the
+        # threshold before the next local maximum.
+        end = maxima[position + 1] if position + 1 < len(maxima) else len(difference)
+        for j in range(index + 1, end):
+            if difference[j] < threshold:
+                best_knee = float(x[index])
+                break
+        if best_knee is not None:
+            break
+    return best_knee
+
+
+def find_knee_index(x: np.ndarray, y: np.ndarray, sensitivity: float = 1.0,
+                    decreasing: bool = True) -> int | None:
+    """Like :func:`find_knee` but returning the index into ``x`` instead of the value."""
+    knee = find_knee(x, y, sensitivity=sensitivity, decreasing=decreasing)
+    if knee is None:
+        return None
+    x = np.asarray(x, dtype=np.float64)
+    return int(np.argmin(np.abs(x - knee)))

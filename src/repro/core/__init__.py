@@ -1,0 +1,63 @@
+"""The paper's primary contribution, gathered under one import path.
+
+``repro.core`` re-exports the battleship selector, the active-learning loop,
+and the supporting pieces a downstream user needs to run low-resource entity
+matching end to end::
+
+    from repro.core import (
+        ActiveLearningLoop, BattleshipSelector, PerfectOracle, load_benchmark,
+    )
+
+    dataset = load_benchmark("amazon_google", scale="small", random_state=7)
+    loop = ActiveLearningLoop(dataset, BattleshipSelector(), iterations=4,
+                              budget_per_iteration=40, random_state=7)
+    result = loop.run()
+    print(result.learning_curve().f1_scores)
+"""
+
+from repro.active.budget import distribute_budget, positive_budget, split_budget
+from repro.active.loop import ActiveLearningLoop, ActiveLearningResult, IterationRecord
+from repro.active.oracle import LabelingOracle, NoisyOracle, PerfectOracle
+from repro.active.selectors import (
+    BattleshipConfig,
+    BattleshipSelector,
+    CommitteeSelector,
+    EntropySelector,
+    RandomSelector,
+    SelectionContext,
+    Selector,
+)
+from repro.active.state import ActiveLearningState
+from repro.active.weak_supervision import WeakSupervisionMode
+from repro.datasets.registry import available_benchmarks, load_benchmark
+from repro.evaluation.curves import LearningCurve
+from repro.neural.featurizer import FeaturizerConfig, PairFeaturizer
+from repro.neural.matcher import MatcherConfig, NeuralMatcher
+
+__all__ = [
+    "ActiveLearningLoop",
+    "ActiveLearningResult",
+    "ActiveLearningState",
+    "BattleshipConfig",
+    "BattleshipSelector",
+    "CommitteeSelector",
+    "EntropySelector",
+    "FeaturizerConfig",
+    "IterationRecord",
+    "LabelingOracle",
+    "LearningCurve",
+    "MatcherConfig",
+    "NeuralMatcher",
+    "NoisyOracle",
+    "PairFeaturizer",
+    "PerfectOracle",
+    "RandomSelector",
+    "SelectionContext",
+    "Selector",
+    "WeakSupervisionMode",
+    "available_benchmarks",
+    "distribute_budget",
+    "load_benchmark",
+    "positive_budget",
+    "split_budget",
+]

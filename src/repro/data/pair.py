@@ -1,0 +1,157 @@
+"""Candidate pairs and labeled pair collections.
+
+After blocking, entity matching classifies a set of *candidate pairs*
+``(r1, r2) ∈ D1 × D2``.  :class:`CandidatePair` ties two record identifiers
+together with an optional gold label; :class:`PairSet` is the ordered,
+index-addressable collection the active-learning machinery operates on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Sequence
+
+import numpy as np
+
+from repro.exceptions import DatasetError
+
+#: Integer label of a matching pair.
+MATCH = 1
+#: Integer label of a non-matching pair.
+NON_MATCH = 0
+
+
+@dataclass(frozen=True)
+class CandidatePair:
+    """A candidate tuple pair produced by blocking.
+
+    Attributes
+    ----------
+    pair_id:
+        Unique identifier of the pair within its :class:`PairSet`.
+    left_id / right_id:
+        Record identifiers in the left / right table.
+    label:
+        Gold label (``1`` match, ``0`` non-match) or ``None`` when unknown.
+    """
+
+    pair_id: str
+    left_id: str
+    right_id: str
+    label: int | None = None
+
+    def __post_init__(self) -> None:
+        if not self.pair_id:
+            raise DatasetError("pair_id must be non-empty")
+        if self.label is not None and self.label not in (MATCH, NON_MATCH):
+            raise DatasetError(f"label must be 0, 1 or None; got {self.label!r}")
+
+    @property
+    def key(self) -> tuple[str, str]:
+        """The ``(left_id, right_id)`` key of the pair."""
+        return (self.left_id, self.right_id)
+
+    def with_label(self, label: int) -> "CandidatePair":
+        """Return a copy of this pair carrying ``label``."""
+        return CandidatePair(self.pair_id, self.left_id, self.right_id, label)
+
+
+class PairSet:
+    """An ordered collection of :class:`CandidatePair` objects.
+
+    Pairs are addressable both by integer position (the representation
+    matrices produced by the matcher are aligned with positions) and by
+    ``pair_id``.
+    """
+
+    def __init__(self, pairs: Iterable[CandidatePair] = ()) -> None:
+        self._pairs: list[CandidatePair] = []
+        self._by_id: dict[str, int] = {}
+        self._by_key: dict[tuple[str, str], int] = {}
+        for pair in pairs:
+            self.add(pair)
+
+    def add(self, pair: CandidatePair) -> None:
+        """Append ``pair`` to the collection."""
+        if pair.pair_id in self._by_id:
+            raise DatasetError(f"Duplicate pair_id {pair.pair_id!r}")
+        if pair.key in self._by_key:
+            raise DatasetError(f"Duplicate candidate pair for key {pair.key!r}")
+        index = len(self._pairs)
+        self._pairs.append(pair)
+        self._by_id[pair.pair_id] = index
+        self._by_key[pair.key] = index
+
+    def __len__(self) -> int:
+        return len(self._pairs)
+
+    def __iter__(self) -> Iterator[CandidatePair]:
+        return iter(self._pairs)
+
+    def __getitem__(self, index: int) -> CandidatePair:
+        return self._pairs[index]
+
+    def __contains__(self, pair_id: object) -> bool:
+        return pair_id in self._by_id
+
+    def by_id(self, pair_id: str) -> CandidatePair:
+        """Return the pair with identifier ``pair_id``."""
+        try:
+            return self._pairs[self._by_id[pair_id]]
+        except KeyError:
+            raise DatasetError(f"No candidate pair with id {pair_id!r}") from None
+
+    def by_key(self, left_id: str, right_id: str) -> CandidatePair:
+        """Return the pair connecting ``left_id`` and ``right_id``."""
+        try:
+            return self._pairs[self._by_key[(left_id, right_id)]]
+        except KeyError:
+            raise DatasetError(
+                f"No candidate pair for key ({left_id!r}, {right_id!r})"
+            ) from None
+
+    def index_of(self, pair_id: str) -> int:
+        """Positional index of the pair with identifier ``pair_id``."""
+        try:
+            return self._by_id[pair_id]
+        except KeyError:
+            raise DatasetError(f"No candidate pair with id {pair_id!r}") from None
+
+    def pair_ids(self) -> tuple[str, ...]:
+        """All pair identifiers in positional order."""
+        return tuple(pair.pair_id for pair in self._pairs)
+
+    def labels(self, missing: int = -1) -> np.ndarray:
+        """Gold labels as an integer array (``missing`` for unlabeled pairs)."""
+        return np.array(
+            [missing if pair.label is None else pair.label for pair in self._pairs],
+            dtype=np.int64,
+        )
+
+    def labeled_fraction(self) -> float:
+        """Fraction of pairs carrying a gold label."""
+        if not self._pairs:
+            return 0.0
+        labeled = sum(1 for pair in self._pairs if pair.label is not None)
+        return labeled / len(self._pairs)
+
+    def positive_rate(self) -> float:
+        """Fraction of labeled pairs that are matches."""
+        labeled = [pair.label for pair in self._pairs if pair.label is not None]
+        if not labeled:
+            return 0.0
+        return float(np.mean(labeled))
+
+    def subset(self, indices: Sequence[int]) -> "PairSet":
+        """A new :class:`PairSet` restricted to ``indices`` (order preserved)."""
+        return PairSet(self._pairs[i] for i in indices)
+
+    def split_by_label(self) -> tuple["PairSet", "PairSet", "PairSet"]:
+        """Split into (matches, non-matches, unlabeled) pair sets."""
+        matches = PairSet(p for p in self._pairs if p.label == MATCH)
+        non_matches = PairSet(p for p in self._pairs if p.label == NON_MATCH)
+        unlabeled = PairSet(p for p in self._pairs if p.label is None)
+        return matches, non_matches, unlabeled
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"PairSet(pairs={len(self)}, positive_rate={self.positive_rate():.3f})"

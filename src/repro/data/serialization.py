@@ -1,0 +1,128 @@
+"""DITTO-style serialization of tuples and tuple pairs.
+
+Following Section 2.1 / Example 3 of the paper, a tuple is serialized as a
+sequence of ``[COL] attribute [VAL] value`` segments and a pair as::
+
+    [CLS] <serialization of r1> [SEP] <serialization of r2>
+
+The pre-trained language model of the paper consumes this text directly.  Our
+NumPy matcher consumes the same serialization through a hashing featurizer, so
+the serializer is shared between the matcher substrate, the examples, and the
+dataset IO round-trips.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+from repro.data.record import Record
+from repro.data.schema import Schema
+
+#: Special tokens used by the serializer, mirroring DITTO.
+CLS_TOKEN = "[CLS]"
+SEP_TOKEN = "[SEP]"
+COL_TOKEN = "[COL]"
+VAL_TOKEN = "[VAL]"
+
+
+@dataclass(frozen=True)
+class SerializationConfig:
+    """Options controlling pair serialization.
+
+    Attributes
+    ----------
+    include_cls:
+        Prepend the ``[CLS]`` token (the paper always does; turning it off is
+        convenient for plain-text exports).
+    lowercase:
+        Lowercase attribute values, mirroring the paper's preprocessing.
+    max_tokens:
+        Truncate the serialized pair to this many whitespace tokens, emulating
+        the 512-token limit of BERT-based models.
+    attributes:
+        Restrict serialization to these attributes (e.g. the WDC datasets use
+        only ``title``).  ``None`` serializes every schema attribute.
+    """
+
+    include_cls: bool = True
+    lowercase: bool = True
+    max_tokens: int = 512
+    attributes: tuple[str, ...] | None = None
+
+
+def serialize_record(
+    record: Record,
+    schema: Schema,
+    config: SerializationConfig | None = None,
+) -> str:
+    """Serialize a single record as ``[COL] a1 [VAL] v1 [COL] a2 [VAL] v2 ...``."""
+    config = config or SerializationConfig()
+    names: Iterable[str]
+    if config.attributes is not None:
+        names = [name for name in config.attributes if name in schema.attribute_names]
+    else:
+        names = schema.attribute_names
+    segments: list[str] = []
+    for name in names:
+        value = record.value(name)
+        if config.lowercase:
+            value = value.lower()
+        segments.append(f"{COL_TOKEN} {name} {VAL_TOKEN} {value}".strip())
+    return " ".join(segments)
+
+
+def serialize_pair(
+    left: Record,
+    right: Record,
+    schema_left: Schema,
+    schema_right: Schema | None = None,
+    config: SerializationConfig | None = None,
+) -> str:
+    """Serialize a candidate pair in the DITTO input format (Example 3)."""
+    config = config or SerializationConfig()
+    schema_right = schema_right or schema_left
+    left_text = serialize_record(left, schema_left, config)
+    right_text = serialize_record(right, schema_right, config)
+    if config.include_cls:
+        serialized = f"{CLS_TOKEN} {left_text} {SEP_TOKEN} {right_text}"
+    else:
+        serialized = f"{left_text} {SEP_TOKEN} {right_text}"
+    return truncate_tokens(serialized, config.max_tokens)
+
+
+def truncate_tokens(text: str, max_tokens: int) -> str:
+    """Truncate ``text`` to at most ``max_tokens`` whitespace-separated tokens."""
+    if max_tokens <= 0:
+        return ""
+    tokens = text.split()
+    if len(tokens) <= max_tokens:
+        return " ".join(tokens)
+    return " ".join(tokens[:max_tokens])
+
+
+def deserialize_record(text: str) -> dict[str, str]:
+    """Parse a ``[COL] ... [VAL] ...`` serialization back into a value mapping.
+
+    Round-tripping is lossy with respect to character case (the serializer
+    lowercases) but preserves the attribute/value structure, which is enough
+    for debugging and for tests of the serializer itself.
+    """
+    values: dict[str, str] = {}
+    chunks = text.split(COL_TOKEN)
+    for chunk in chunks:
+        chunk = chunk.strip()
+        if not chunk or VAL_TOKEN not in chunk:
+            continue
+        name, _, value = chunk.partition(VAL_TOKEN)
+        values[name.strip()] = value.replace(SEP_TOKEN, "").strip()
+    return values
+
+
+def split_pair_serialization(text: str) -> tuple[str, str]:
+    """Split a serialized pair into the left and right record serializations."""
+    body = text
+    if body.startswith(CLS_TOKEN):
+        body = body[len(CLS_TOKEN):].strip()
+    left, _, right = body.partition(SEP_TOKEN)
+    return left.strip(), right.strip()

@@ -1,0 +1,51 @@
+"""Synthetic benchmark generators mirroring the paper's six datasets."""
+
+from repro.datasets.base import BenchmarkSpec, EntityProfile, build_benchmark
+from repro.datasets.bibliographic import dblp_scholar_catalog
+from repro.datasets.corruptions import (
+    CLEAN_SOURCE,
+    DIRTY_SOURCE,
+    CorruptionConfig,
+    corrupt_numeric,
+    corrupt_text,
+    corrupt_values,
+    introduce_typo,
+)
+from repro.datasets.products import (
+    abt_buy_catalog,
+    amazon_google_catalog,
+    walmart_amazon_catalog,
+    wdc_cameras_catalog,
+    wdc_shoes_catalog,
+)
+from repro.datasets.registry import (
+    PAPER_STATISTICS,
+    PaperDatasetStatistics,
+    available_benchmarks,
+    benchmark_spec,
+    load_benchmark,
+)
+
+__all__ = [
+    "BenchmarkSpec",
+    "CLEAN_SOURCE",
+    "CorruptionConfig",
+    "DIRTY_SOURCE",
+    "EntityProfile",
+    "PAPER_STATISTICS",
+    "PaperDatasetStatistics",
+    "abt_buy_catalog",
+    "amazon_google_catalog",
+    "available_benchmarks",
+    "benchmark_spec",
+    "build_benchmark",
+    "corrupt_numeric",
+    "corrupt_text",
+    "corrupt_values",
+    "dblp_scholar_catalog",
+    "introduce_typo",
+    "load_benchmark",
+    "walmart_amazon_catalog",
+    "wdc_cameras_catalog",
+    "wdc_shoes_catalog",
+]

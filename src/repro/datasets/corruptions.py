@@ -1,0 +1,205 @@
+"""Corruption pipeline used to derive noisy record variants.
+
+A synthetic benchmark starts from a catalog of clean entities.  Each table
+(e.g. the "Walmart" side and the "Amazon" side) receives a *variant* of every
+entity it contains, produced by applying a configurable sequence of corruption
+operators: typos, token drops and swaps, abbreviation substitution, missing
+values, numeric perturbation, and token injection.  Matching pairs are exactly
+the pairs whose records descend from the same entity, so corruption strength
+controls how hard the matching task is — mirroring the difference between the
+relatively clean Magellan data and the dirtier crawled sources (Google
+Scholar, WDC e-shops) described in Section 4.1 of the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Mapping
+
+import numpy as np
+
+from repro._rng import RandomState, ensure_rng
+from repro.datasets.vocabularies import ABBREVIATIONS
+
+_ALPHABET = "abcdefghijklmnopqrstuvwxyz"
+
+
+@dataclass(frozen=True)
+class CorruptionConfig:
+    """Per-attribute corruption strengths (all probabilities in ``[0, 1]``).
+
+    Attributes
+    ----------
+    typo_rate:
+        Probability of introducing a character-level typo in each token.
+    token_drop_rate:
+        Probability of dropping each token.
+    token_swap_rate:
+        Probability of swapping a token with its successor.
+    abbreviation_rate:
+        Probability of replacing a token (or phrase) with its abbreviation.
+    missing_rate:
+        Probability of blanking the whole attribute value.
+    numeric_noise:
+        Relative noise applied to numeric values (e.g. ``0.05`` perturbs a
+        price by up to ±5%).
+    injection_rate:
+        Probability of appending a noise token (marketing filler, seller name).
+    case_noise_rate:
+        Probability of upper-casing a token (simulating inconsistent casing).
+    """
+
+    typo_rate: float = 0.02
+    token_drop_rate: float = 0.05
+    token_swap_rate: float = 0.02
+    abbreviation_rate: float = 0.1
+    missing_rate: float = 0.02
+    numeric_noise: float = 0.03
+    injection_rate: float = 0.05
+    case_noise_rate: float = 0.0
+
+    def __post_init__(self) -> None:
+        for name in ("typo_rate", "token_drop_rate", "token_swap_rate",
+                     "abbreviation_rate", "missing_rate", "injection_rate",
+                     "case_noise_rate"):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1], got {value}")
+        if self.numeric_noise < 0:
+            raise ValueError(f"numeric_noise must be >= 0, got {self.numeric_noise}")
+
+    def scaled(self, factor: float) -> "CorruptionConfig":
+        """Return a config with all probabilities multiplied by ``factor`` (capped at 1)."""
+        if factor < 0:
+            raise ValueError(f"factor must be >= 0, got {factor}")
+        clip = lambda value: min(1.0, value * factor)  # noqa: E731 - tiny local helper
+        return CorruptionConfig(
+            typo_rate=clip(self.typo_rate),
+            token_drop_rate=clip(self.token_drop_rate),
+            token_swap_rate=clip(self.token_swap_rate),
+            abbreviation_rate=clip(self.abbreviation_rate),
+            missing_rate=clip(self.missing_rate),
+            numeric_noise=self.numeric_noise * factor,
+            injection_rate=clip(self.injection_rate),
+            case_noise_rate=clip(self.case_noise_rate),
+        )
+
+
+#: Corruption profile of a relatively clean curated source (e.g. DBLP, Walmart).
+CLEAN_SOURCE = CorruptionConfig(
+    typo_rate=0.005, token_drop_rate=0.02, token_swap_rate=0.01,
+    abbreviation_rate=0.03, missing_rate=0.01, numeric_noise=0.0,
+    injection_rate=0.02,
+)
+
+#: Corruption profile of a noisy crawled source (e.g. Google Scholar, e-shops).
+DIRTY_SOURCE = CorruptionConfig(
+    typo_rate=0.03, token_drop_rate=0.10, token_swap_rate=0.05,
+    abbreviation_rate=0.20, missing_rate=0.08, numeric_noise=0.08,
+    injection_rate=0.15, case_noise_rate=0.05,
+)
+
+_NOISE_TOKENS = (
+    "new", "sale", "free shipping", "oem", "refurbished", "bundle", "original",
+    "genuine", "official", "2 pack", "limited", "bestseller", "clearance",
+)
+
+
+def introduce_typo(token: str, rng: np.random.Generator) -> str:
+    """Apply one random character edit (substitute / delete / transpose / insert)."""
+    if not token:
+        return token
+    operation = rng.integers(0, 4)
+    position = int(rng.integers(0, len(token)))
+    replacement = _ALPHABET[int(rng.integers(0, len(_ALPHABET)))]
+    if operation == 0:  # substitute
+        return token[:position] + replacement + token[position + 1:]
+    if operation == 1:  # delete
+        return token[:position] + token[position + 1:]
+    if operation == 2 and len(token) > 1:  # transpose
+        position = min(position, len(token) - 2)
+        return (token[:position] + token[position + 1] + token[position]
+                + token[position + 2:])
+    return token[:position] + replacement + token[position:]  # insert
+
+
+def corrupt_text(value: str, config: CorruptionConfig, rng: np.random.Generator) -> str:
+    """Apply the textual corruption operators to a single attribute value."""
+    if not value:
+        return value
+    if rng.random() < config.missing_rate:
+        return ""
+
+    text = value
+    # Phrase-level abbreviations first (they may span several tokens).
+    for phrase, abbreviation in ABBREVIATIONS.items():
+        if " " in phrase and phrase in text and rng.random() < config.abbreviation_rate:
+            text = text.replace(phrase, abbreviation)
+
+    tokens = text.split()
+    corrupted: list[str] = []
+    for token in tokens:
+        if rng.random() < config.token_drop_rate:
+            continue
+        if token in ABBREVIATIONS and rng.random() < config.abbreviation_rate:
+            token = ABBREVIATIONS[token]
+        if rng.random() < config.typo_rate:
+            token = introduce_typo(token, rng)
+        if config.case_noise_rate and rng.random() < config.case_noise_rate:
+            token = token.upper()
+        corrupted.append(token)
+
+    # Token swaps.
+    index = 0
+    while index < len(corrupted) - 1:
+        if rng.random() < config.token_swap_rate:
+            corrupted[index], corrupted[index + 1] = corrupted[index + 1], corrupted[index]
+            index += 2
+        else:
+            index += 1
+
+    if config.injection_rate and rng.random() < config.injection_rate:
+        noise = _NOISE_TOKENS[int(rng.integers(0, len(_NOISE_TOKENS)))]
+        corrupted.append(noise)
+
+    result = " ".join(corrupted)
+    # Never let a value degenerate to empty purely through drops: keep one token.
+    if not result and tokens:
+        result = tokens[0]
+    return result
+
+
+def corrupt_numeric(value: str, config: CorruptionConfig, rng: np.random.Generator) -> str:
+    """Perturb a numeric attribute value (price, year) multiplicatively."""
+    if not value:
+        return value
+    if rng.random() < config.missing_rate:
+        return ""
+    try:
+        number = float(value)
+    except ValueError:
+        return corrupt_text(value, config, rng)
+    if config.numeric_noise <= 0:
+        return value
+    factor = 1.0 + rng.uniform(-config.numeric_noise, config.numeric_noise)
+    perturbed = number * factor
+    if float(value).is_integer() and abs(number) >= 100:
+        return str(int(round(perturbed)))
+    return f"{perturbed:.2f}"
+
+
+def corrupt_values(
+    values: Mapping[str, str],
+    config: CorruptionConfig,
+    rng_or_seed: RandomState,
+    numeric_attributes: tuple[str, ...] = (),
+) -> dict[str, str]:
+    """Corrupt every attribute value of a record."""
+    rng = ensure_rng(rng_or_seed)
+    corrupted: dict[str, str] = {}
+    for name, value in values.items():
+        if name in numeric_attributes:
+            corrupted[name] = corrupt_numeric(str(value), config, rng)
+        else:
+            corrupted[name] = corrupt_text(str(value), config, rng)
+    return corrupted

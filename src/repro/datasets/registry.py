@@ -1,0 +1,221 @@
+"""Benchmark registry: build any of the six paper benchmarks by name.
+
+The numbers in :data:`PAPER_STATISTICS` are copied from Table 3 of the paper
+and drive both the synthetic generator targets and the Table 3 reproduction
+bench.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro._rng import RandomState
+from repro.config import ScaleProfile
+from repro.data.dataset import EMDataset
+from repro.data.schema import Attribute, AttributeType, Schema
+from repro.data.splits import SplitRatios
+from repro.datasets.base import BenchmarkSpec, build_benchmark
+from repro.datasets.bibliographic import dblp_scholar_catalog
+from repro.datasets.corruptions import CLEAN_SOURCE, DIRTY_SOURCE, CorruptionConfig
+from repro.datasets.products import (
+    abt_buy_catalog,
+    amazon_google_catalog,
+    walmart_amazon_catalog,
+    wdc_cameras_catalog,
+    wdc_shoes_catalog,
+)
+from repro.exceptions import DatasetError
+
+
+@dataclass(frozen=True)
+class PaperDatasetStatistics:
+    """One row of Table 3 in the paper."""
+
+    name: str
+    train_size: int
+    positive_rate: float
+    num_attributes: int
+
+
+#: Table 3 of the paper (training-set sizes, positive rates, attribute counts).
+PAPER_STATISTICS: dict[str, PaperDatasetStatistics] = {
+    "walmart_amazon": PaperDatasetStatistics("walmart_amazon", 6144, 0.094, 5),
+    "amazon_google": PaperDatasetStatistics("amazon_google", 6874, 0.102, 3),
+    "wdc_cameras": PaperDatasetStatistics("wdc_cameras", 4081, 0.210, 1),
+    "wdc_shoes": PaperDatasetStatistics("wdc_shoes", 4505, 0.209, 1),
+    "abt_buy": PaperDatasetStatistics("abt_buy", 5743, 0.107, 3),
+    "dblp_scholar": PaperDatasetStatistics("dblp_scholar", 17223, 0.186, 4),
+}
+
+_MODERATE_SOURCE = CorruptionConfig(
+    typo_rate=0.02, token_drop_rate=0.06, token_swap_rate=0.03,
+    abbreviation_rate=0.12, missing_rate=0.04, numeric_noise=0.05,
+    injection_rate=0.08,
+)
+
+_WDC_SPLIT = SplitRatios(train=4.0, validation=1.0, test=1.25)
+
+
+def _walmart_amazon_spec() -> BenchmarkSpec:
+    schema = Schema(
+        attributes=(
+            Attribute("title", AttributeType.TEXT),
+            Attribute("category", AttributeType.CATEGORICAL),
+            Attribute("brand", AttributeType.CATEGORICAL),
+            Attribute("modelno", AttributeType.TEXT),
+            Attribute("price", AttributeType.NUMERIC),
+        ),
+        name="walmart_amazon",
+    )
+    stats = PAPER_STATISTICS["walmart_amazon"]
+    return BenchmarkSpec(
+        name=stats.name,
+        schema=schema,
+        catalog=walmart_amazon_catalog,
+        paper_train_size=stats.train_size,
+        positive_rate=stats.positive_rate,
+        left_corruption=CLEAN_SOURCE,
+        right_corruption=_MODERATE_SOURCE,
+    )
+
+
+def _amazon_google_spec() -> BenchmarkSpec:
+    schema = Schema(
+        attributes=(
+            Attribute("title", AttributeType.TEXT),
+            Attribute("manufacturer", AttributeType.CATEGORICAL),
+            Attribute("price", AttributeType.NUMERIC),
+        ),
+        name="amazon_google",
+    )
+    stats = PAPER_STATISTICS["amazon_google"]
+    return BenchmarkSpec(
+        name=stats.name,
+        schema=schema,
+        catalog=amazon_google_catalog,
+        paper_train_size=stats.train_size,
+        positive_rate=stats.positive_rate,
+        left_corruption=CLEAN_SOURCE,
+        right_corruption=DIRTY_SOURCE,
+    )
+
+
+def _abt_buy_spec() -> BenchmarkSpec:
+    schema = Schema(
+        attributes=(
+            Attribute("name", AttributeType.TEXT),
+            Attribute("description", AttributeType.TEXT),
+            Attribute("price", AttributeType.NUMERIC),
+        ),
+        name="abt_buy",
+    )
+    stats = PAPER_STATISTICS["abt_buy"]
+    return BenchmarkSpec(
+        name=stats.name,
+        schema=schema,
+        catalog=abt_buy_catalog,
+        paper_train_size=stats.train_size,
+        positive_rate=stats.positive_rate,
+        left_corruption=CLEAN_SOURCE,
+        right_corruption=_MODERATE_SOURCE,
+    )
+
+
+def _wdc_cameras_spec() -> BenchmarkSpec:
+    schema = Schema(attributes=(Attribute("title", AttributeType.TEXT),), name="wdc_cameras")
+    stats = PAPER_STATISTICS["wdc_cameras"]
+    return BenchmarkSpec(
+        name=stats.name,
+        schema=schema,
+        catalog=wdc_cameras_catalog,
+        paper_train_size=stats.train_size,
+        positive_rate=stats.positive_rate,
+        left_corruption=_MODERATE_SOURCE,
+        right_corruption=DIRTY_SOURCE,
+        serialized_attributes=("title",),
+        split_ratios=_WDC_SPLIT,
+    )
+
+
+def _wdc_shoes_spec() -> BenchmarkSpec:
+    schema = Schema(attributes=(Attribute("title", AttributeType.TEXT),), name="wdc_shoes")
+    stats = PAPER_STATISTICS["wdc_shoes"]
+    return BenchmarkSpec(
+        name=stats.name,
+        schema=schema,
+        catalog=wdc_shoes_catalog,
+        paper_train_size=stats.train_size,
+        positive_rate=stats.positive_rate,
+        left_corruption=_MODERATE_SOURCE,
+        right_corruption=DIRTY_SOURCE,
+        serialized_attributes=("title",),
+        split_ratios=_WDC_SPLIT,
+    )
+
+
+def _dblp_scholar_spec() -> BenchmarkSpec:
+    schema = Schema(
+        attributes=(
+            Attribute("title", AttributeType.TEXT),
+            Attribute("authors", AttributeType.TEXT),
+            Attribute("venue", AttributeType.CATEGORICAL),
+            Attribute("year", AttributeType.NUMERIC),
+        ),
+        name="dblp_scholar",
+    )
+    stats = PAPER_STATISTICS["dblp_scholar"]
+    return BenchmarkSpec(
+        name=stats.name,
+        schema=schema,
+        catalog=dblp_scholar_catalog,
+        paper_train_size=stats.train_size,
+        positive_rate=stats.positive_rate,
+        left_corruption=CLEAN_SOURCE,
+        right_corruption=DIRTY_SOURCE,
+    )
+
+
+_SPEC_FACTORIES = {
+    "walmart_amazon": _walmart_amazon_spec,
+    "amazon_google": _amazon_google_spec,
+    "wdc_cameras": _wdc_cameras_spec,
+    "wdc_shoes": _wdc_shoes_spec,
+    "abt_buy": _abt_buy_spec,
+    "dblp_scholar": _dblp_scholar_spec,
+}
+
+
+def available_benchmarks() -> tuple[str, ...]:
+    """Names of all benchmarks the registry can build."""
+    return tuple(_SPEC_FACTORIES)
+
+
+def benchmark_spec(name: str) -> BenchmarkSpec:
+    """Return the :class:`BenchmarkSpec` for ``name``."""
+    key = name.strip().lower().replace("-", "_")
+    try:
+        return _SPEC_FACTORIES[key]()
+    except KeyError:
+        raise DatasetError(
+            f"Unknown benchmark {name!r}; available: {sorted(_SPEC_FACTORIES)}"
+        ) from None
+
+
+def load_benchmark(
+    name: str,
+    scale: ScaleProfile | str | None = None,
+    random_state: RandomState = None,
+) -> EMDataset:
+    """Build the synthetic stand-in for the benchmark called ``name``.
+
+    Parameters
+    ----------
+    name:
+        One of :func:`available_benchmarks` (hyphens and case are ignored).
+    scale:
+        Scale profile or name; defaults to the ``REPRO_SCALE`` environment.
+    random_state:
+        Seed for fully reproducible generation.
+    """
+    spec = benchmark_spec(name)
+    return build_benchmark(spec, scale=scale, random_state=random_state)

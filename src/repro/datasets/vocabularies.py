@@ -1,0 +1,197 @@
+"""Domain vocabularies used by the synthetic benchmark generators.
+
+The real benchmarks (Magellan product data, WDC product corpus, DBLP-Scholar)
+cannot be downloaded in this offline environment, so the generators in
+:mod:`repro.datasets` synthesize catalogs from the vocabularies below.  The
+lists are intentionally modest in size: what matters for reproducing the
+paper's behaviour is the *structure* (brands shared across many products,
+model numbers that differ by a character, noisy author/venue strings), not
+lexical realism.
+"""
+
+from __future__ import annotations
+
+#: Electronics / software brands (Amazon-Google style catalogs).
+SOFTWARE_BRANDS = (
+    "adobe", "microsoft", "apple", "intuit", "symantec", "corel", "mcafee",
+    "aspyr media", "roxio", "nuance", "autodesk", "sage software", "avanquest",
+    "broderbund", "encore software", "topics entertainment", "kaspersky",
+    "panda software", "sonic solutions", "pinnacle systems", "global marketing",
+    "ahead software", "fogware publishing", "individual software", "valuesoft",
+)
+
+#: Software / media product nouns.
+SOFTWARE_NOUNS = (
+    "photoshop elements", "office small business", "quickbooks pro",
+    "antivirus", "internet security suite", "paint shop pro", "video studio",
+    "dragon naturally speaking", "turbotax deluxe", "illustrator", "premiere",
+    "acrobat standard", "creative suite", "works suite", "money plus",
+    "studio moviebox", "typing instructor", "family tree maker", "mavis beacon",
+    "sims glamour life stuff pack", "world atlas", "encyclopedia deluxe",
+    "web design studio", "backup mymedia", "pdf converter professional",
+    "language learning spanish", "math blaster", "reading rabbit",
+)
+
+#: General retail brands (Walmart-Amazon style catalogs).
+RETAIL_BRANDS = (
+    "sony", "samsung", "panasonic", "philips", "lg", "toshiba", "sharp",
+    "canon", "nikon", "olympus", "fujifilm", "kodak", "hp", "dell", "lenovo",
+    "logitech", "belkin", "netgear", "linksys", "sandisk", "kingston",
+    "western digital", "seagate", "garmin", "tomtom", "jvc", "pioneer",
+    "vtech", "fisher price", "graco", "black and decker", "hamilton beach",
+)
+
+#: Retail product nouns with category hints.
+RETAIL_NOUNS = (
+    "lcd hdtv", "plasma television", "blu ray disc player", "home theater system",
+    "digital photo frame", "compact digital camera", "camcorder", "dvd player",
+    "wireless router", "usb flash drive", "external hard drive", "memory card",
+    "gps navigator", "portable dvd player", "soundbar speaker", "headphones",
+    "laptop sleeve", "keyboard and mouse combo", "ink cartridge", "laser printer",
+    "coffee maker", "slow cooker", "toaster oven", "vacuum cleaner",
+    "baby monitor", "car seat", "stroller travel system", "cordless drill",
+)
+
+#: Camera brands and model families (WDC Cameras).
+CAMERA_BRANDS = (
+    "canon", "nikon", "sony", "fujifilm", "olympus", "panasonic", "pentax",
+    "leica", "samsung", "casio", "kodak", "sigma", "ricoh", "hasselblad",
+)
+
+CAMERA_FAMILIES = (
+    "eos rebel", "eos mark", "powershot sx", "powershot elph", "coolpix p",
+    "coolpix s", "d series dslr", "alpha a", "cyber shot dsc", "finepix x",
+    "finepix s", "lumix dmc", "om d e m", "pen e pl", "k series", "q series",
+    "stylus tough", "exilim ex", "pixpro az",
+)
+
+CAMERA_QUALIFIERS = (
+    "digital camera", "mirrorless camera", "dslr camera", "body only",
+    "with 18 55mm lens", "with 55 200mm lens", "kit", "black", "silver",
+    "16 megapixel", "20 megapixel", "24 megapixel", "full hd video",
+    "4k video", "wifi enabled", "touchscreen",
+)
+
+#: Shoe brands and model families (WDC Shoes).
+SHOE_BRANDS = (
+    "nike", "adidas", "new balance", "asics", "brooks", "saucony", "puma",
+    "reebok", "skechers", "merrell", "salomon", "timberland", "clarks",
+    "converse", "vans", "under armour", "mizuno", "hoka one one",
+)
+
+SHOE_FAMILIES = (
+    "air max", "air zoom pegasus", "free run", "revolution", "ultraboost",
+    "superstar", "stan smith", "gel kayano", "gel nimbus", "gt 2000",
+    "ghost", "adrenaline gts", "fresh foam", "990v", "ride iso", "guide iso",
+    "classic leather", "chuck taylor all star", "old skool", "moab ventilator",
+    "speedcross", "wave rider", "clifton",
+)
+
+SHOE_QUALIFIERS = (
+    "running shoe", "trail running shoe", "walking shoe", "sneaker",
+    "mens", "womens", "kids", "wide width", "black white", "grey blue",
+    "size 9", "size 10", "size 11", "leather", "mesh upper", "waterproof",
+)
+
+#: Long-text description fragments (ABT-Buy style textual entries).
+DESCRIPTION_FRAGMENTS = (
+    "features a high resolution display for crisp and clear viewing",
+    "includes rechargeable battery and charging cable in the box",
+    "designed for everyday use with a durable lightweight construction",
+    "delivers powerful performance for work and entertainment",
+    "easy to set up and compatible with most operating systems",
+    "offers expandable storage and fast data transfer speeds",
+    "engineered with noise reduction technology for immersive sound",
+    "energy efficient design that meets strict industry standards",
+    "backed by a one year limited manufacturer warranty",
+    "ships in certified frustration free packaging",
+    "ideal for home office classroom or travel use",
+    "sleek modern finish that complements any room decor",
+)
+
+#: Author first names for bibliographic data.
+AUTHOR_FIRST_NAMES = (
+    "wei", "jian", "maria", "anna", "john", "michael", "david", "rachel",
+    "peter", "thomas", "laura", "susan", "james", "robert", "daniel",
+    "kevin", "yong", "hector", "carlos", "elena", "sofia", "ahmed", "fatima",
+    "hiroshi", "yuki", "olga", "ivan", "pierre", "claire", "lars", "ingrid",
+)
+
+AUTHOR_LAST_NAMES = (
+    "chen", "wang", "zhang", "liu", "smith", "johnson", "garcia", "martinez",
+    "brown", "mueller", "schmidt", "rossi", "ferrari", "tanaka", "suzuki",
+    "kim", "park", "nguyen", "tran", "kumar", "patel", "singh", "ivanov",
+    "petrov", "dubois", "lefevre", "jensen", "larsen", "andersson", "nilsson",
+)
+
+#: Research topic fragments for paper titles.
+PAPER_TOPICS = (
+    "query optimization", "entity resolution", "data integration",
+    "schema matching", "approximate string joins", "stream processing",
+    "distributed transactions", "graph pattern mining", "index structures",
+    "similarity search", "data cleaning", "record linkage", "view maintenance",
+    "workload forecasting", "cardinality estimation", "adaptive indexing",
+    "crowdsourced labeling", "active learning", "transfer learning",
+    "deep neural networks", "knowledge graphs", "provenance tracking",
+    "privacy preserving analytics", "spatial keyword queries",
+)
+
+PAPER_TOPIC_MODIFIERS = (
+    "scalable", "efficient", "robust", "incremental", "parallel",
+    "distributed", "adaptive", "interactive", "learned", "probabilistic",
+    "streaming", "online", "declarative", "self tuning", "low resource",
+)
+
+PAPER_TITLE_PATTERNS = (
+    "{modifier} {topic} for {context}",
+    "towards {modifier} {topic}",
+    "a {modifier} approach to {topic}",
+    "{topic} in {context}",
+    "on the {modifier} evaluation of {topic}",
+    "{topic}: a {modifier} perspective",
+)
+
+PAPER_CONTEXTS = (
+    "relational databases", "large scale web data", "data lakes",
+    "column stores", "main memory systems", "cloud platforms",
+    "heterogeneous sources", "sensor networks", "social networks",
+    "scientific workflows", "multi tenant systems", "key value stores",
+)
+
+#: Publication venues with their informal (crawled) variants.
+VENUES = (
+    ("sigmod", "sigmod conference", "acm sigmod", "proc sigmod"),
+    ("vldb", "pvldb", "very large data bases", "proc vldb endow"),
+    ("icde", "ieee icde", "int conf data engineering", "icde conf"),
+    ("kdd", "acm sigkdd", "knowledge discovery and data mining", "sigkdd"),
+    ("edbt", "extending database technology", "edbt conf", "proc edbt"),
+    ("cikm", "conf information knowledge management", "acm cikm", "cikm proc"),
+    ("tods", "acm trans database syst", "transactions on database systems", "acm tods"),
+    ("tkde", "ieee trans knowl data eng", "knowledge and data engineering", "ieee tkde"),
+    ("www", "the web conference", "world wide web conf", "www conf"),
+    ("icdm", "ieee icdm", "int conf data mining", "icdm conf"),
+)
+
+#: Common abbreviation replacements applied by the corruption pipeline.
+ABBREVIATIONS = {
+    "incorporated": "inc",
+    "corporation": "corp",
+    "company": "co",
+    "international": "intl",
+    "professional": "pro",
+    "deluxe": "dlx",
+    "edition": "ed",
+    "version": "ver",
+    "digital": "dig",
+    "camera": "cam",
+    "television": "tv",
+    "wireless": "wl",
+    "rechargeable": "rechg",
+    "conference": "conf",
+    "proceedings": "proc",
+    "transactions": "trans",
+    "international journal": "intl j",
+    "engineering": "eng",
+    "systems": "syst",
+    "management": "mgmt",
+}

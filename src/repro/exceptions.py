@@ -1,0 +1,40 @@
+"""Exception hierarchy for the ``repro`` package.
+
+All library errors derive from :class:`ReproError` so that callers can catch a
+single base class.  More specific subclasses communicate which subsystem
+rejected the input.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the ``repro`` package."""
+
+
+class SchemaError(ReproError):
+    """A record or table does not conform to its declared schema."""
+
+
+class DatasetError(ReproError):
+    """A dataset (tables, candidate pairs, splits) is malformed."""
+
+
+class ConfigurationError(ReproError):
+    """An invalid configuration value was supplied."""
+
+
+class NotFittedError(ReproError):
+    """A model or index was used before ``fit`` / ``build`` was called."""
+
+
+class ConvergenceError(ReproError):
+    """An iterative algorithm failed to converge within its iteration budget."""
+
+
+class BudgetError(ReproError):
+    """An active-learning labeling budget is invalid or exhausted."""
+
+
+class OracleError(ReproError):
+    """The labeling oracle was asked about a pair it has no label for."""

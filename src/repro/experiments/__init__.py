@@ -1,0 +1,67 @@
+"""Experiment harness reproducing every table and figure of the paper."""
+
+from repro.experiments.configs import (
+    ABLATION_DATASETS,
+    PAPER_ALPHAS,
+    PAPER_BETA,
+    PAPER_NUM_SEEDS,
+    ExperimentSettings,
+    default_settings,
+)
+from repro.experiments.figures import (
+    LatentSpaceReport,
+    figure1_latent_space,
+    figure5_learning_curves,
+    figure6_runtime,
+    figure7_beta_ablation,
+    figure7_rows,
+    figure8_correspondence,
+    figure9_weak_supervision,
+    figure10_ws_method,
+)
+from repro.experiments.runner import (
+    ACTIVE_LEARNING_METHODS,
+    MethodRun,
+    clear_dataset_cache,
+    get_dataset,
+    method_factory,
+    run_learning_curves,
+    run_method,
+    run_single,
+)
+from repro.experiments.tables import (
+    table3_dataset_statistics,
+    table4_f1_by_budget,
+    table5_auc,
+    table6_alpha_ablation,
+)
+
+__all__ = [
+    "ABLATION_DATASETS",
+    "ACTIVE_LEARNING_METHODS",
+    "ExperimentSettings",
+    "LatentSpaceReport",
+    "MethodRun",
+    "PAPER_ALPHAS",
+    "PAPER_BETA",
+    "PAPER_NUM_SEEDS",
+    "clear_dataset_cache",
+    "default_settings",
+    "figure10_ws_method",
+    "figure1_latent_space",
+    "figure5_learning_curves",
+    "figure6_runtime",
+    "figure7_beta_ablation",
+    "figure7_rows",
+    "figure8_correspondence",
+    "figure9_weak_supervision",
+    "get_dataset",
+    "method_factory",
+    "run_learning_curves",
+    "run_method",
+    "run_single",
+    "table3_dataset_statistics",
+    "table4_f1_by_budget",
+    "table5_auc",
+    "table6_alpha_ablation",
+]

@@ -1,0 +1,132 @@
+"""Numbers reported in the paper's tables and figures.
+
+These constants are used by the benchmark harness and EXPERIMENTS.md to place
+the measured results next to the published ones.  Absolute values are not
+expected to match (the matcher substrate and the data are synthetic stand-ins,
+see DESIGN.md); the comparison is about *shape*: ordering of methods, rough
+factors, and where crossovers happen.
+
+All F1 values are percentages, AUC values are the paper's unit-less
+area-under-the-F1-curve scores.  ``None`` marks combinations the paper does
+not report (DIAL and ZeroER are not evaluated on every dataset).
+"""
+
+from __future__ import annotations
+
+#: Dataset order used by every paper table.
+PAPER_DATASET_ORDER = (
+    "walmart_amazon", "amazon_google", "wdc_cameras", "wdc_shoes",
+    "abt_buy", "dblp_scholar",
+)
+
+#: Table 4 — F1 with 500 and 900 labeled samples, plus ZeroER / Full D.
+TABLE4_F1: dict[str, dict[str, dict[int, float | None] | float | None]] = {
+    "zeroer": {
+        "walmart_amazon": 47.82, "amazon_google": 47.51, "wdc_cameras": None,
+        "wdc_shoes": None, "abt_buy": 32.39, "dblp_scholar": 81.93,
+    },
+    "full_d": {
+        "walmart_amazon": 81.60, "amazon_google": 68.75, "wdc_cameras": 83.65,
+        "wdc_shoes": 73.48, "abt_buy": 84.95, "dblp_scholar": 95.46,
+    },
+    "random": {
+        "walmart_amazon": {500: 33.79, 900: 61.57},
+        "amazon_google": {500: 51.77, 900: 55.23},
+        "wdc_cameras": {500: 58.22, 900: 71.54},
+        "wdc_shoes": {500: 43.31, 900: 59.23},
+        "abt_buy": {500: 45.79, 900: 52.42},
+        "dblp_scholar": {500: 89.78, 900: 93.51},
+    },
+    "dal": {
+        "walmart_amazon": {500: 46.17, 900: 75.47},
+        "amazon_google": {500: 58.15, 900: 64.28},
+        "wdc_cameras": {500: 65.53, 900: 75.93},
+        "wdc_shoes": {500: 45.08, 900: 61.80},
+        "abt_buy": {500: 34.49, 900: 74.08},
+        "dblp_scholar": {500: 94.11, 900: 94.62},
+    },
+    "dial": {
+        "walmart_amazon": {500: 41.40, 900: 41.00},
+        "amazon_google": {500: 53.90, 900: 54.90},
+        "wdc_cameras": {500: None, 900: None},
+        "wdc_shoes": {500: None, 900: None},
+        "abt_buy": {500: 61.30, 900: 52.30},
+        "dblp_scholar": {500: 88.90, 900: 90.00},
+    },
+    "battleship": {
+        "walmart_amazon": {500: 65.30, 900: 77.98},
+        "amazon_google": {500: 61.48, 900: 66.94},
+        "wdc_cameras": {500: 78.24, 900: 84.76},
+        "wdc_shoes": {500: 61.93, 900: 71.57},
+        "abt_buy": {500: 67.95, 900: 85.99},
+        "dblp_scholar": {500: 93.47, 900: 94.75},
+    },
+}
+
+#: Table 5 — AUC of the F1 learning curves.
+TABLE5_AUC: dict[str, dict[str, float | None]] = {
+    "random": {
+        "walmart_amazon": 304.86, "amazon_google": 353.32, "wdc_cameras": 514.56,
+        "wdc_shoes": 353.14, "abt_buy": 326.73, "dblp_scholar": 720.13,
+    },
+    "dal": {
+        "walmart_amazon": 418.46, "amazon_google": 444.19, "wdc_cameras": 546.33,
+        "wdc_shoes": 410.55, "abt_buy": 338.88, "dblp_scholar": 732.70,
+    },
+    "dial": {
+        "walmart_amazon": 313.45, "amazon_google": 423.70, "wdc_cameras": None,
+        "wdc_shoes": None, "abt_buy": 454.30, "dblp_scholar": 708.50,
+    },
+    "battleship": {
+        "walmart_amazon": 491.15, "amazon_google": 473.03, "wdc_cameras": 605.25,
+        "wdc_shoes": 490.06, "abt_buy": 515.96, "dblp_scholar": 740.54,
+    },
+}
+
+#: Table 6 — final F1 for α ∈ {0, 0.25, 0.5, 0.75, 1} (β = 0.5).
+TABLE6_ALPHA_F1: dict[str, dict[float, float]] = {
+    "walmart_amazon": {0.0: 77.71, 0.25: 78.04, 0.5: 79.76, 0.75: 76.14, 1.0: 76.13},
+    "amazon_google": {0.0: 65.10, 0.25: 65.38, 0.5: 67.23, 0.75: 68.22, 1.0: 66.10},
+    "wdc_cameras": {0.0: 83.85, 0.25: 86.53, 0.5: 84.97, 0.75: 82.79, 1.0: 82.22},
+    "wdc_shoes": {0.0: 66.08, 0.25: 68.48, 0.5: 72.98, 0.75: 73.24, 1.0: 71.65},
+    "abt_buy": {0.0: 83.21, 0.25: 86.07, 0.5: 84.31, 0.75: 87.59, 1.0: 81.52},
+    "dblp_scholar": {0.0: 93.95, 0.25: 94.47, 0.5: 96.03, 0.75: 93.75, 1.0: 93.81},
+}
+
+#: Figure 7 — final F1 for β ∈ {0, 0.5, 1} (α = 0.5).
+FIGURE7_BETA_F1: dict[str, dict[float, float]] = {
+    "walmart_amazon": {0.0: 76.37, 0.5: 79.76, 1.0: 77.59},
+    "amazon_google": {0.0: 66.04, 0.5: 67.23, 1.0: 65.87},
+}
+
+#: Figure 8 — correspondence ablation (α = 1, β = 1): final F1 and AUC.
+FIGURE8_CORRESPONDENCE: dict[str, dict[str, float]] = {
+    "walmart_amazon": {"battleship_f1": 74.81, "dal_f1": 75.47,
+                       "battleship_auc": 485.20, "dal_auc": 418.46},
+}
+
+#: Figure 9 — weak supervision on/off: final (maximum) F1.
+FIGURE9_WEAK_SUPERVISION: dict[str, dict[str, float]] = {
+    "walmart_amazon": {"battleship": 77.98, "battleship_no_ws": 60.66,
+                       "dal": 75.47, "dal_no_ws": 50.70},
+    "amazon_google": {"battleship": 66.94, "battleship_no_ws": 60.37,
+                      "dal": 64.28, "dal_no_ws": 58.70},
+}
+
+#: Figure 10 — weak-supervision method comparison: AUC.
+FIGURE10_WS_METHOD_AUC: dict[str, dict[str, float]] = {
+    "walmart_amazon": {"battleship_ws": 503.58, "dal_style_ws": 482.92},
+    "amazon_google": {"battleship_ws": 467.49, "dal_style_ws": 451.49},
+}
+
+#: Figure 6 — runtime notes: per-iteration runtimes of the battleship approach
+#: on the paper's hardware decrease over iterations; DBLP-Scholar runs 430-549s
+#: per iteration, the rest roughly 100-220s.
+FIGURE6_RUNTIME_RANGE_SECONDS: dict[str, tuple[float, float]] = {
+    "walmart_amazon": (100.0, 220.0),
+    "amazon_google": (100.0, 220.0),
+    "wdc_cameras": (100.0, 220.0),
+    "wdc_shoes": (100.0, 220.0),
+    "abt_buy": (100.0, 220.0),
+    "dblp_scholar": (430.0, 549.0),
+}

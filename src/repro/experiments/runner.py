@@ -1,0 +1,156 @@
+"""Shared experiment runner: one function per repeated pattern in the harness.
+
+Every figure/table of the paper boils down to: build a benchmark, run an
+active-learning loop for one or more selector configurations, and aggregate
+the learning curves.  The runner centralizes dataset caching (per process) and
+the seed/α averaging conventions so the figure and table builders stay short.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.active.loop import ActiveLearningLoop, ActiveLearningResult
+from repro.active.selectors import (
+    BattleshipConfig,
+    BattleshipSelector,
+    CommitteeSelector,
+    EntropySelector,
+    RandomSelector,
+    Selector,
+)
+from repro.active.weak_supervision import WeakSupervisionMode
+from repro.data.dataset import EMDataset
+from repro.datasets.registry import load_benchmark
+from repro.evaluation.curves import LearningCurve, average_curves
+from repro.exceptions import ConfigurationError
+from repro.experiments.configs import ExperimentSettings
+
+#: Selector factory signature: ``(alpha, beta) -> Selector``.
+SelectorFactory = Callable[[float, float], Selector]
+
+_METHOD_FACTORIES: dict[str, SelectorFactory] = {
+    "battleship": lambda alpha, beta: BattleshipSelector(
+        BattleshipConfig(alpha=alpha, beta=beta)),
+    "dal": lambda alpha, beta: EntropySelector(),
+    "dial": lambda alpha, beta: CommitteeSelector(),
+    "random": lambda alpha, beta: RandomSelector(),
+}
+
+#: The active-learning methods compared throughout Section 5.
+ACTIVE_LEARNING_METHODS: tuple[str, ...] = tuple(_METHOD_FACTORIES)
+
+_DATASET_CACHE: dict[tuple[str, str, int], EMDataset] = {}
+
+
+def method_factory(name: str) -> SelectorFactory:
+    """Look up the selector factory for ``name``."""
+    try:
+        return _METHOD_FACTORIES[name]
+    except KeyError:
+        raise ConfigurationError(
+            f"Unknown method {name!r}; expected one of {sorted(_METHOD_FACTORIES)}"
+        ) from None
+
+
+def get_dataset(name: str, settings: ExperimentSettings) -> EMDataset:
+    """Load (and cache) the benchmark ``name`` at the settings' scale."""
+    key = (name, settings.scale.name, settings.base_random_seed)
+    if key not in _DATASET_CACHE:
+        _DATASET_CACHE[key] = load_benchmark(name, scale=settings.scale,
+                                             random_state=settings.base_random_seed)
+    return _DATASET_CACHE[key]
+
+
+def clear_dataset_cache() -> None:
+    """Drop all cached benchmarks (used by tests)."""
+    _DATASET_CACHE.clear()
+
+
+@dataclass
+class MethodRun:
+    """All raw results of one method on one dataset (across seeds and α values)."""
+
+    dataset: str
+    method: str
+    results: list[ActiveLearningResult] = field(default_factory=list)
+
+    def curve(self) -> LearningCurve:
+        """Learning curve averaged over every underlying run."""
+        return average_curves([result.learning_curve() for result in self.results])
+
+    def selection_runtimes(self) -> list[float]:
+        """Per-iteration selection runtimes averaged over runs (Figure 6)."""
+        per_run = [result.selection_runtimes() for result in self.results]
+        if not per_run:
+            return []
+        length = min(len(runtimes) for runtimes in per_run)
+        return [
+            float(sum(runtimes[i] for runtimes in per_run) / len(per_run))
+            for i in range(length)
+        ]
+
+
+def run_single(
+    dataset: EMDataset,
+    selector: Selector,
+    settings: ExperimentSettings,
+    random_state: int,
+    weak_supervision: WeakSupervisionMode | str = WeakSupervisionMode.SELECTOR,
+) -> ActiveLearningResult:
+    """One active-learning run with the settings' iteration/budget counts."""
+    loop = ActiveLearningLoop(
+        dataset=dataset,
+        selector=selector,
+        matcher_config=settings.matcher_config,
+        featurizer_config=settings.featurizer_config,
+        iterations=settings.iterations,
+        budget_per_iteration=settings.budget_per_iteration,
+        seed_size=settings.seed_size,
+        weak_supervision=weak_supervision,
+        random_state=random_state,
+    )
+    return loop.run()
+
+
+def run_method(
+    dataset_name: str,
+    method: str,
+    settings: ExperimentSettings,
+    beta: float | None = None,
+    alphas: tuple[float, ...] | None = None,
+    weak_supervision: WeakSupervisionMode | str = WeakSupervisionMode.SELECTOR,
+) -> MethodRun:
+    """Run ``method`` on ``dataset_name`` averaged over seeds (and α values).
+
+    The battleship method is additionally averaged over ``alphas`` (the paper
+    averages α ∈ {0.25, 0.5, 0.75}); other methods ignore the α/β arguments.
+    """
+    factory = method_factory(method)
+    dataset = get_dataset(dataset_name, settings)
+    beta = settings.beta if beta is None else beta
+    alpha_values = alphas if alphas is not None else (
+        settings.alphas if method == "battleship" else (0.5,))
+
+    run = MethodRun(dataset=dataset_name, method=method)
+    for seed in settings.seeds():
+        for alpha in alpha_values:
+            selector = factory(alpha, beta)
+            run.results.append(run_single(dataset, selector, settings, seed,
+                                          weak_supervision))
+    return run
+
+
+def run_learning_curves(
+    dataset_names: tuple[str, ...],
+    methods: tuple[str, ...],
+    settings: ExperimentSettings,
+) -> dict[str, dict[str, LearningCurve]]:
+    """Learning curves per dataset per method (the data behind Figure 5)."""
+    curves: dict[str, dict[str, LearningCurve]] = {}
+    for dataset_name in dataset_names:
+        curves[dataset_name] = {}
+        for method in methods:
+            curves[dataset_name][method] = run_method(dataset_name, method, settings).curve()
+    return curves

@@ -1,0 +1,25 @@
+"""Graph substrate: pair graphs, connected components, PageRank, certainty."""
+
+from repro.graphs.components import UnionFind, connected_components
+from repro.graphs.entropy import (
+    certainty_score,
+    certainty_scores,
+    conditional_entropy,
+    spatial_confidence,
+)
+from repro.graphs.pagerank import pagerank, pagerank_per_component
+from repro.graphs.pair_graph import PairGraph, PairNode, build_pair_graph
+
+__all__ = [
+    "PairGraph",
+    "PairNode",
+    "UnionFind",
+    "build_pair_graph",
+    "certainty_score",
+    "certainty_scores",
+    "conditional_entropy",
+    "connected_components",
+    "pagerank",
+    "pagerank_per_component",
+    "spatial_confidence",
+]

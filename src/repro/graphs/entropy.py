@@ -1,0 +1,74 @@
+"""Certainty measures: conditional entropy, spatial confidence, and the
+combined certainty score (Eqs. 1, 3 and 4 of the paper)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graphs.pair_graph import PairGraph
+
+_EPSILON = 1e-12
+
+
+def conditional_entropy(probability: float | np.ndarray) -> float | np.ndarray:
+    """Binary conditional entropy ``H(p) = -p log p - (1-p) log(1-p)`` (Eq. 1).
+
+    Natural logarithm; the maximum value (at ``p = 0.5``) is ``log 2``.
+    Accepts scalars or arrays.
+    """
+    p = np.clip(np.asarray(probability, dtype=np.float64), _EPSILON, 1.0 - _EPSILON)
+    entropy = -(p * np.log(p) + (1.0 - p) * np.log(1.0 - p))
+    if np.isscalar(probability) or np.ndim(probability) == 0:
+        return float(entropy)
+    return entropy
+
+
+def spatial_confidence(graph: PairGraph, node_id: int) -> float:
+    """Spatial confidence of a node (Eq. 3).
+
+    The weighted share of the node's neighbourhood confidence mass that agrees
+    with the node's own prediction.  Neighbour contributions are weighted by
+    edge similarity and by the neighbour's confidence in *its* prediction
+    (1.0 for labeled nodes).  Nodes without neighbours fall back to their own
+    model confidence, which reduces Eq. 4 to plain conditional entropy.
+    """
+    node = graph.node(node_id)
+    neighbours = graph.neighbors(node_id)
+    if not neighbours:
+        return node.confidence
+
+    numerator = 0.0
+    denominator = 0.0
+    for neighbour_id, weight in neighbours.items():
+        neighbour = graph.node(neighbour_id)
+        contribution = weight * neighbour.confidence
+        denominator += contribution
+        if neighbour.prediction == node.prediction:
+            numerator += contribution
+    if denominator <= 0:
+        return node.confidence
+    return numerator / denominator
+
+
+def certainty_score(graph: PairGraph, node_id: int, beta: float = 0.5) -> float:
+    """Combined certainty score of a node (Eq. 4).
+
+    ``beta`` weighs the model's own conditional entropy against the spatial
+    entropy: ``beta = 1`` uses only the model confidence (DAL-style), ``beta =
+    0`` uses only the spatial signal.  Higher scores mean *more uncertain*
+    nodes (entropy), which the selector prefers.
+    """
+    if not 0.0 <= beta <= 1.0:
+        raise ValueError(f"beta must be in [0, 1], got {beta}")
+    node = graph.node(node_id)
+    local_entropy = conditional_entropy(node.confidence)
+    spatial_entropy = conditional_entropy(spatial_confidence(graph, node_id))
+    return float(beta * local_entropy + (1.0 - beta) * spatial_entropy)
+
+
+def certainty_scores(graph: PairGraph, node_ids: list[int] | None = None,
+                     beta: float = 0.5) -> dict[int, float]:
+    """Certainty scores (Eq. 4) for many nodes at once."""
+    if node_ids is None:
+        node_ids = graph.node_ids()
+    return {node_id: certainty_score(graph, node_id, beta) for node_id in node_ids}

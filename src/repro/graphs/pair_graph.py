@@ -1,0 +1,285 @@
+"""Pair graphs built from tuple-pair representations (Section 3.3).
+
+A :class:`PairGraph` is an undirected weighted graph whose nodes are candidate
+pairs (identified by their positional index in the dataset) annotated with the
+matcher's prediction, its confidence in that prediction, and whether the pair
+is already labeled.  Edges connect spatially close pairs; their weight is the
+cosine similarity of the pair representations.
+
+:func:`build_pair_graph` implements the edge-creation procedure of
+Section 3.3.2: within every cluster, each node is connected to its ``q``
+nearest neighbours, then the top share of the remaining intra-cluster node
+pairs (ranked by similarity) is added, and two already-labeled nodes are never
+connected directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, Sequence
+
+import numpy as np
+
+from repro.graphs.components import connected_components
+from repro.text.vectorizers import cosine_similarity_matrix
+
+
+@dataclass(frozen=True)
+class PairNode:
+    """Attributes of one node of a pair graph.
+
+    Attributes
+    ----------
+    node_id:
+        Positional index of the candidate pair in the dataset.
+    prediction:
+        Predicted (or, for labeled nodes, actual) class: 1 match / 0 non-match.
+    confidence:
+        Confidence of the matcher in ``prediction`` — ``max(p, 1-p)`` for
+        pool pairs and exactly 1.0 for labeled pairs (Section 3.5.1).
+    match_probability:
+        The matcher's probability that the pair is a match (1.0 / 0.0 for
+        labeled matches / non-matches).
+    labeled:
+        Whether the pair is already in the labeled training set.
+    """
+
+    node_id: int
+    prediction: int
+    confidence: float
+    match_probability: float
+    labeled: bool = False
+
+
+class PairGraph:
+    """Undirected weighted graph over candidate-pair nodes."""
+
+    def __init__(self) -> None:
+        self._nodes: dict[int, PairNode] = {}
+        self._adjacency: dict[int, dict[int, float]] = {}
+
+    # ------------------------------------------------------------------ #
+    # Construction
+    # ------------------------------------------------------------------ #
+    def add_node(self, node: PairNode) -> None:
+        """Add ``node`` (replacing any previous node with the same id)."""
+        self._nodes[node.node_id] = node
+        self._adjacency.setdefault(node.node_id, {})
+
+    def add_edge(self, u: int, v: int, weight: float) -> None:
+        """Add the undirected edge ``{u, v}`` with ``weight`` (idempotent)."""
+        if u == v:
+            raise ValueError("Self-loops are not allowed in a pair graph")
+        if u not in self._nodes or v not in self._nodes:
+            raise KeyError("Both endpoints must be added as nodes before the edge")
+        self._adjacency[u][v] = float(weight)
+        self._adjacency[v][u] = float(weight)
+
+    # ------------------------------------------------------------------ #
+    # Accessors
+    # ------------------------------------------------------------------ #
+    @property
+    def num_nodes(self) -> int:
+        return len(self._nodes)
+
+    @property
+    def num_edges(self) -> int:
+        return sum(len(neighbours) for neighbours in self._adjacency.values()) // 2
+
+    def nodes(self) -> Iterator[PairNode]:
+        """Iterate over node attribute objects."""
+        return iter(self._nodes.values())
+
+    def node_ids(self) -> list[int]:
+        """All node identifiers."""
+        return list(self._nodes)
+
+    def node(self, node_id: int) -> PairNode:
+        """Attributes of node ``node_id``."""
+        return self._nodes[node_id]
+
+    def has_node(self, node_id: int) -> bool:
+        return node_id in self._nodes
+
+    def has_edge(self, u: int, v: int) -> bool:
+        return v in self._adjacency.get(u, {})
+
+    def edge_weight(self, u: int, v: int) -> float:
+        """Weight of the edge ``{u, v}``."""
+        return self._adjacency[u][v]
+
+    def neighbors(self, node_id: int) -> dict[int, float]:
+        """Mapping neighbour id → edge weight for ``node_id``."""
+        return dict(self._adjacency.get(node_id, {}))
+
+    def degree(self, node_id: int) -> int:
+        return len(self._adjacency.get(node_id, {}))
+
+    def edges(self) -> list[tuple[int, int, float]]:
+        """All edges as ``(u, v, weight)`` with ``u < v``."""
+        result = []
+        for u, neighbours in self._adjacency.items():
+            for v, weight in neighbours.items():
+                if u < v:
+                    result.append((u, v, weight))
+        return result
+
+    # ------------------------------------------------------------------ #
+    # Derived structures
+    # ------------------------------------------------------------------ #
+    def connected_components(self) -> list[set[int]]:
+        """Connected components (largest first); isolated nodes are singletons."""
+        edges = [(u, v) for u, v, _ in self.edges()]
+        return connected_components(self.node_ids(), edges)
+
+    def subgraph(self, node_ids: Iterable[int]) -> "PairGraph":
+        """The induced subgraph on ``node_ids``."""
+        keep = set(node_ids)
+        graph = PairGraph()
+        for node_id in keep:
+            if node_id in self._nodes:
+                graph.add_node(self._nodes[node_id])
+        for node_id in keep:
+            for neighbour, weight in self._adjacency.get(node_id, {}).items():
+                if neighbour in keep and node_id < neighbour:
+                    graph.add_edge(node_id, neighbour, weight)
+        return graph
+
+
+def build_pair_graph(
+    representations: np.ndarray,
+    node_ids: Sequence[int],
+    predictions: Sequence[int],
+    confidences: Sequence[float],
+    match_probabilities: Sequence[float],
+    labeled_mask: Sequence[bool],
+    cluster_labels: Sequence[int] | None = None,
+    num_neighbors: int = 15,
+    extra_edge_ratio: float = 0.03,
+    similarity_matrix: np.ndarray | None = None,
+) -> PairGraph:
+    """Build a pair graph following Section 3.3.2.
+
+    Parameters
+    ----------
+    representations:
+        Pair representations, one row per node (aligned with ``node_ids``).
+    node_ids:
+        Dataset-level indices of the pairs.
+    predictions / confidences / match_probabilities / labeled_mask:
+        Node attributes (see :class:`PairNode`).
+    cluster_labels:
+        Cluster assignment per node; edges are only created inside a cluster.
+        ``None`` treats all nodes as one cluster.
+    num_neighbors:
+        ``q`` of the paper: every node is connected to its ``q`` nearest
+        neighbours within its cluster.
+    extra_edge_ratio:
+        Fraction of the *remaining* intra-cluster node pairs (after the
+        nearest-neighbour stage) added as extra edges, in descending
+        similarity order.
+    similarity_matrix:
+        Optional pre-computed cosine similarity matrix aligned with
+        ``node_ids`` (used by tests that specify similarities explicitly).
+    """
+    node_ids = list(node_ids)
+    n = len(node_ids)
+    if n == 0:
+        return PairGraph()
+    predictions = np.asarray(predictions, dtype=np.int64)
+    confidences = np.asarray(confidences, dtype=np.float64)
+    match_probabilities = np.asarray(match_probabilities, dtype=np.float64)
+    labeled_mask = np.asarray(labeled_mask, dtype=bool)
+    for name, array in (("predictions", predictions), ("confidences", confidences),
+                        ("match_probabilities", match_probabilities),
+                        ("labeled_mask", labeled_mask)):
+        if len(array) != n:
+            raise ValueError(f"{name} must have length {n}, got {len(array)}")
+    if cluster_labels is None:
+        cluster_labels = np.zeros(n, dtype=np.int64)
+    else:
+        cluster_labels = np.asarray(cluster_labels, dtype=np.int64)
+        if len(cluster_labels) != n:
+            raise ValueError(f"cluster_labels must have length {n}")
+    if num_neighbors < 1:
+        raise ValueError("num_neighbors must be >= 1")
+    if not 0.0 <= extra_edge_ratio <= 1.0:
+        raise ValueError("extra_edge_ratio must be in [0, 1]")
+
+    graph = PairGraph()
+    for position, node_id in enumerate(node_ids):
+        graph.add_node(PairNode(
+            node_id=int(node_id),
+            prediction=int(predictions[position]),
+            confidence=float(confidences[position]),
+            match_probability=float(match_probabilities[position]),
+            labeled=bool(labeled_mask[position]),
+        ))
+
+    for cluster in np.unique(cluster_labels):
+        positions = np.flatnonzero(cluster_labels == cluster)
+        if len(positions) < 2:
+            continue
+        if similarity_matrix is not None:
+            cluster_similarities = similarity_matrix[np.ix_(positions, positions)]
+        else:
+            cluster_similarities = cosine_similarity_matrix(representations[positions])
+        _add_cluster_edges(graph, positions, node_ids, labeled_mask,
+                           cluster_similarities, num_neighbors, extra_edge_ratio)
+    return graph
+
+
+def _add_cluster_edges(
+    graph: PairGraph,
+    positions: np.ndarray,
+    node_ids: Sequence[int],
+    labeled_mask: np.ndarray,
+    similarities: np.ndarray,
+    num_neighbors: int,
+    extra_edge_ratio: float,
+) -> None:
+    """Create the q-NN edges and the extra top-similarity edges for one cluster."""
+    size = len(positions)
+    created: set[tuple[int, int]] = set()
+
+    def is_allowed(local_u: int, local_v: int) -> bool:
+        # Two already-labeled pairs are never connected directly (Example 4).
+        return not (labeled_mask[positions[local_u]] and labeled_mask[positions[local_v]])
+
+    # Stage 1: each node connects to its q nearest (allowed) neighbours.
+    q = min(num_neighbors, size - 1)
+    for local_u in range(size):
+        order = np.argsort(-similarities[local_u])
+        added = 0
+        for local_v in order:
+            if local_v == local_u or added >= q:
+                if added >= q:
+                    break
+                continue
+            if not is_allowed(local_u, local_v):
+                continue
+            key = (min(local_u, local_v), max(local_u, local_v))
+            if key not in created:
+                created.add(key)
+                graph.add_edge(int(node_ids[positions[local_u]]),
+                               int(node_ids[positions[local_v]]),
+                               float(similarities[local_u, local_v]))
+            added += 1
+
+    # Stage 2: add the top extra_edge_ratio share of the remaining pairs.
+    total_pairs = size * (size - 1) // 2
+    remaining = total_pairs - len(created)
+    extra_budget = int(np.floor(extra_edge_ratio * remaining))
+    if extra_budget <= 0:
+        return
+    candidates: list[tuple[float, int, int]] = []
+    for local_u in range(size):
+        for local_v in range(local_u + 1, size):
+            key = (local_u, local_v)
+            if key in created or not is_allowed(local_u, local_v):
+                continue
+            candidates.append((float(similarities[local_u, local_v]), local_u, local_v))
+    candidates.sort(key=lambda item: -item[0])
+    for weight, local_u, local_v in candidates[:extra_budget]:
+        graph.add_edge(int(node_ids[positions[local_u]]),
+                       int(node_ids[positions[local_v]]), weight)

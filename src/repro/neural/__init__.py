@@ -1,0 +1,44 @@
+"""Neural matcher substrate: the NumPy stand-in for the paper's DITTO model."""
+
+from repro.neural.activations import relu, sigmoid, softmax, tanh
+from repro.neural.calibration import (
+    TemperatureScaler,
+    expected_calibration_error,
+    logit,
+    sharpen_probabilities,
+)
+from repro.neural.featurizer import FeaturizerConfig, PairFeaturizer
+from repro.neural.layers import Activation, Dropout, Layer, LayerNorm, Linear
+from repro.neural.losses import binary_cross_entropy, binary_cross_entropy_with_logits
+from repro.neural.matcher import MatcherConfig, NeuralMatcher, TrainingHistory
+from repro.neural.network import FeedForwardNetwork, NetworkConfig
+from repro.neural.optimizers import SGD, Adam, AdamW, Optimizer
+
+__all__ = [
+    "Activation",
+    "Adam",
+    "AdamW",
+    "Dropout",
+    "FeaturizerConfig",
+    "FeedForwardNetwork",
+    "Layer",
+    "LayerNorm",
+    "Linear",
+    "MatcherConfig",
+    "NetworkConfig",
+    "NeuralMatcher",
+    "Optimizer",
+    "PairFeaturizer",
+    "SGD",
+    "TemperatureScaler",
+    "TrainingHistory",
+    "binary_cross_entropy",
+    "binary_cross_entropy_with_logits",
+    "expected_calibration_error",
+    "logit",
+    "relu",
+    "sharpen_probabilities",
+    "sigmoid",
+    "softmax",
+    "tanh",
+]

@@ -1,0 +1,170 @@
+"""Featurization of candidate pairs for the NumPy matcher.
+
+DITTO feeds the serialized pair text through a subword tokenizer and a
+transformer.  The stand-in matcher feeds the same serialization through
+feature hashing plus attribute-wise similarity features:
+
+* hashed token/q-gram vectors of the left and right record texts,
+* their element-wise product and absolute difference (interaction features,
+  the main carrier of "do these two records talk about the same thing"),
+* classic per-attribute similarity scores (Jaccard, q-gram Jaccard, overlap,
+  token cosine, and an edit-based or numeric measure depending on the
+  attribute type).
+
+The featurizer is stateless (feature hashing requires no fitting), so feature
+matrices are identical across active-learning iterations and can be computed
+once per dataset.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.data.dataset import EMDataset
+from repro.data.pair import CandidatePair
+from repro.data.record import Record
+from repro.data.schema import AttributeType, Schema
+from repro.text.similarity import (
+    cosine_token_similarity,
+    jaccard_similarity,
+    jaro_winkler_similarity,
+    levenshtein_similarity,
+    numeric_similarity,
+    overlap_coefficient,
+    qgram_jaccard_similarity,
+)
+from repro.text.vectorizers import HashingVectorizer, HashingVectorizerConfig
+
+#: Values longer than this fall back from edit distance to Jaccard (cost control).
+_EDIT_DISTANCE_MAX_LENGTH = 48
+
+
+@dataclass(frozen=True)
+class FeaturizerConfig:
+    """Options for :class:`PairFeaturizer`.
+
+    Attributes
+    ----------
+    hash_dim:
+        Width of each hashed text vector.
+    include_raw:
+        Include the raw hashed vectors of both records (doubles the width but
+        lets the representation encode *where* in product space a pair lives,
+        which strengthens the latent-space clustering the battleship approach
+        exploits).
+    include_interactions:
+        Include element-wise product and absolute difference of the hashed
+        vectors.
+    include_similarities:
+        Include per-attribute similarity scores.
+    """
+
+    hash_dim: int = 192
+    include_raw: bool = True
+    include_interactions: bool = True
+    include_similarities: bool = True
+    qgram_size: int = 3
+
+    def __post_init__(self) -> None:
+        if self.hash_dim <= 0:
+            raise ValueError("hash_dim must be positive")
+        if not (self.include_raw or self.include_interactions or self.include_similarities):
+            raise ValueError("At least one feature family must be enabled")
+
+
+def _attribute_similarities(left_value: str, right_value: str,
+                            kind: AttributeType, qgram_size: int) -> list[float]:
+    """Similarity features for one attribute of a pair."""
+    features = [
+        jaccard_similarity(left_value, right_value),
+        qgram_jaccard_similarity(left_value, right_value, q=qgram_size),
+        overlap_coefficient(left_value, right_value),
+        cosine_token_similarity(left_value, right_value),
+    ]
+    if kind is AttributeType.NUMERIC:
+        features.append(numeric_similarity(left_value, right_value))
+    elif max(len(left_value), len(right_value)) <= _EDIT_DISTANCE_MAX_LENGTH:
+        features.append(levenshtein_similarity(left_value, right_value))
+    else:
+        features.append(jaro_winkler_similarity(left_value[:_EDIT_DISTANCE_MAX_LENGTH],
+                                                right_value[:_EDIT_DISTANCE_MAX_LENGTH]))
+    missing = float(not left_value.strip() or not right_value.strip())
+    features.append(missing)
+    return features
+
+
+class PairFeaturizer:
+    """Transforms candidate pairs of an :class:`EMDataset` into feature vectors."""
+
+    #: Number of similarity features emitted per attribute.
+    SIMILARITIES_PER_ATTRIBUTE = 6
+
+    def __init__(self, config: FeaturizerConfig | None = None) -> None:
+        self.config = config or FeaturizerConfig()
+        self._hasher = HashingVectorizer(HashingVectorizerConfig(
+            num_features=self.config.hash_dim,
+            qgram_size=self.config.qgram_size,
+        ))
+
+    def feature_dim(self, dataset: EMDataset) -> int:
+        """Width of the feature vectors produced for ``dataset``."""
+        dim = 0
+        if self.config.include_raw:
+            dim += 2 * self.config.hash_dim
+        if self.config.include_interactions:
+            dim += 2 * self.config.hash_dim
+        if self.config.include_similarities:
+            dim += self.SIMILARITIES_PER_ATTRIBUTE * len(self._serialized_attributes(dataset))
+        return dim
+
+    @staticmethod
+    def _serialized_attributes(dataset: EMDataset) -> tuple[str, ...]:
+        if dataset.serialization.attributes is not None:
+            return tuple(name for name in dataset.serialization.attributes
+                         if name in dataset.left.schema.attribute_names)
+        return dataset.left.schema.attribute_names
+
+    def _record_text(self, record: Record, attributes: Sequence[str]) -> str:
+        return " ".join(record.value(name) for name in attributes)
+
+    def _pair_features(self, dataset: EMDataset, pair: CandidatePair,
+                       attributes: Sequence[str], schema: Schema) -> np.ndarray:
+        left, right = dataset.records_for(pair)
+        parts: list[np.ndarray] = []
+
+        if self.config.include_raw or self.config.include_interactions:
+            left_vector = self._hasher.transform_one(self._record_text(left, attributes))
+            right_vector = self._hasher.transform_one(self._record_text(right, attributes))
+            if self.config.include_raw:
+                parts.extend((left_vector, right_vector))
+            if self.config.include_interactions:
+                parts.append(left_vector * right_vector)
+                parts.append(np.abs(left_vector - right_vector))
+
+        if self.config.include_similarities:
+            similarities: list[float] = []
+            for name in attributes:
+                kind = schema.attribute(name).kind
+                similarities.extend(_attribute_similarities(
+                    left.value(name), right.value(name), kind, self.config.qgram_size))
+            parts.append(np.asarray(similarities, dtype=np.float64))
+
+        return np.concatenate(parts)
+
+    def transform(self, dataset: EMDataset,
+                  indices: Sequence[int] | None = None) -> np.ndarray:
+        """Feature matrix for the pairs at ``indices`` (all pairs by default)."""
+        if indices is None:
+            indices = range(len(dataset.pairs))
+        attributes = self._serialized_attributes(dataset)
+        schema = dataset.left.schema
+        rows = [
+            self._pair_features(dataset, dataset.pairs[int(i)], attributes, schema)
+            for i in indices
+        ]
+        if not rows:
+            return np.zeros((0, self.feature_dim(dataset)), dtype=np.float64)
+        return np.vstack(rows)

@@ -1,0 +1,160 @@
+"""Neural network layers with manual forward/backward passes.
+
+Each layer exposes ``forward(x, training)`` and ``backward(grad_output)``;
+parameters and their gradients live in ``layer.parameters`` /
+``layer.gradients`` dictionaries keyed by parameter name so the optimizers in
+:mod:`repro.neural.optimizers` can update any layer uniformly.
+"""
+
+from __future__ import annotations
+
+import abc
+
+import numpy as np
+
+from repro._rng import RandomState, ensure_rng
+from repro.neural.activations import ACTIVATIONS
+
+
+class Layer(abc.ABC):
+    """Base class for all layers."""
+
+    def __init__(self) -> None:
+        self.parameters: dict[str, np.ndarray] = {}
+        self.gradients: dict[str, np.ndarray] = {}
+
+    @abc.abstractmethod
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        """Compute the layer output for input ``x``."""
+
+    @abc.abstractmethod
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        """Back-propagate ``grad_output`` and return the gradient w.r.t. the input."""
+
+    @property
+    def num_parameters(self) -> int:
+        """Total number of trainable scalars in the layer."""
+        return int(sum(p.size for p in self.parameters.values()))
+
+    def zero_gradients(self) -> None:
+        """Reset accumulated gradients to zero."""
+        for name, parameter in self.parameters.items():
+            self.gradients[name] = np.zeros_like(parameter)
+
+
+class Linear(Layer):
+    """Fully connected layer ``y = x W + b`` with He-style initialization."""
+
+    def __init__(self, in_features: int, out_features: int,
+                 random_state: RandomState = None) -> None:
+        super().__init__()
+        if in_features <= 0 or out_features <= 0:
+            raise ValueError("in_features and out_features must be positive")
+        rng = ensure_rng(random_state)
+        scale = np.sqrt(2.0 / in_features)
+        self.in_features = in_features
+        self.out_features = out_features
+        self.parameters["weight"] = rng.normal(0.0, scale, size=(in_features, out_features))
+        self.parameters["bias"] = np.zeros(out_features)
+        self.zero_gradients()
+        self._input: np.ndarray | None = None
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        self._input = x if training else None
+        return x @ self.parameters["weight"] + self.parameters["bias"]
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._input is None:
+            raise RuntimeError("backward called before a training forward pass")
+        self.gradients["weight"] = self._input.T @ grad_output
+        self.gradients["bias"] = grad_output.sum(axis=0)
+        return grad_output @ self.parameters["weight"].T
+
+
+class Activation(Layer):
+    """Element-wise activation layer (relu / sigmoid / tanh)."""
+
+    def __init__(self, name: str = "relu") -> None:
+        super().__init__()
+        if name not in ACTIVATIONS:
+            raise ValueError(f"Unknown activation {name!r}; expected one of {sorted(ACTIVATIONS)}")
+        self.name = name
+        self._function, self._gradient = ACTIVATIONS[name]
+        self._input: np.ndarray | None = None
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        self._input = x if training else None
+        return self._function(x)
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._input is None:
+            raise RuntimeError("backward called before a training forward pass")
+        return grad_output * self._gradient(self._input)
+
+
+class Dropout(Layer):
+    """Inverted dropout: active only during training."""
+
+    def __init__(self, rate: float = 0.1, random_state: RandomState = None) -> None:
+        super().__init__()
+        if not 0.0 <= rate < 1.0:
+            raise ValueError(f"Dropout rate must be in [0, 1), got {rate}")
+        self.rate = rate
+        self._rng = ensure_rng(random_state)
+        self._mask: np.ndarray | None = None
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        if not training or self.rate == 0.0:
+            self._mask = None
+            return x
+        keep = 1.0 - self.rate
+        self._mask = (self._rng.random(x.shape) < keep) / keep
+        return x * self._mask
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._mask is None:
+            return grad_output
+        return grad_output * self._mask
+
+
+class LayerNorm(Layer):
+    """Layer normalization over the feature dimension."""
+
+    def __init__(self, num_features: int, epsilon: float = 1e-5) -> None:
+        super().__init__()
+        if num_features <= 0:
+            raise ValueError("num_features must be positive")
+        self.num_features = num_features
+        self.epsilon = epsilon
+        self.parameters["gamma"] = np.ones(num_features)
+        self.parameters["beta"] = np.zeros(num_features)
+        self.zero_gradients()
+        self._cache: tuple[np.ndarray, np.ndarray, np.ndarray] | None = None
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        mean = x.mean(axis=-1, keepdims=True)
+        variance = x.var(axis=-1, keepdims=True)
+        inv_std = 1.0 / np.sqrt(variance + self.epsilon)
+        normalized = (x - mean) * inv_std
+        if training:
+            self._cache = (normalized, inv_std, x)
+        else:
+            self._cache = None
+        return normalized * self.parameters["gamma"] + self.parameters["beta"]
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._cache is None:
+            raise RuntimeError("backward called before a training forward pass")
+        normalized, inv_std, _ = self._cache
+        gamma = self.parameters["gamma"]
+        self.gradients["gamma"] = (grad_output * normalized).sum(axis=0)
+        self.gradients["beta"] = grad_output.sum(axis=0)
+        n = normalized.shape[-1]
+        grad_normalized = grad_output * gamma
+        # Standard layer-norm backward pass.
+        grad_input = (
+            grad_normalized
+            - grad_normalized.mean(axis=-1, keepdims=True)
+            - normalized * (grad_normalized * normalized).mean(axis=-1, keepdims=True)
+        ) * inv_std
+        return grad_input

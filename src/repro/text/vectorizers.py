@@ -1,0 +1,158 @@
+"""Text vectorizers implemented with NumPy.
+
+Two vectorizers are provided:
+
+:class:`HashingVectorizer`
+    Stateless feature hashing of tokens (and optionally character q-grams)
+    into a fixed-width vector.  It is the front end of the neural matcher
+    substrate (:mod:`repro.neural`): the DITTO model of the paper consumes the
+    serialized pair text through a subword tokenizer; we consume the same text
+    through feature hashing, which needs no vocabulary fitting and therefore
+    behaves identically across active-learning iterations.
+
+:class:`TfidfVectorizer`
+    A classic fit/transform TF-IDF vectorizer used by the ZeroER baseline and
+    the blocking evaluation utilities.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import math
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.exceptions import NotFittedError
+from repro.text.tokenization import qgrams, tokenize
+
+
+def _stable_hash(token: str, seed: int = 0) -> int:
+    """Deterministic 64-bit hash of ``token`` (stable across processes)."""
+    digest = hashlib.blake2b(f"{seed}:{token}".encode("utf-8"), digest_size=8).digest()
+    return int.from_bytes(digest, "little")
+
+
+@dataclass(frozen=True)
+class HashingVectorizerConfig:
+    """Options for :class:`HashingVectorizer`."""
+
+    num_features: int = 1024
+    use_qgrams: bool = True
+    qgram_size: int = 3
+    signed: bool = True
+    normalize: bool = True
+    seed: int = 17
+
+
+class HashingVectorizer:
+    """Hash tokens (and q-grams) of a text into a fixed-width vector."""
+
+    def __init__(self, config: HashingVectorizerConfig | None = None) -> None:
+        self.config = config or HashingVectorizerConfig()
+        if self.config.num_features <= 0:
+            raise ValueError("num_features must be positive")
+
+    @property
+    def num_features(self) -> int:
+        """Width of the produced vectors."""
+        return self.config.num_features
+
+    def _features(self, text: str) -> list[str]:
+        features = tokenize(text)
+        if self.config.use_qgrams:
+            features.extend(qgrams(text, q=self.config.qgram_size))
+        return features
+
+    def transform_one(self, text: str) -> np.ndarray:
+        """Vectorize a single text."""
+        vector = np.zeros(self.config.num_features, dtype=np.float64)
+        for feature in self._features(text):
+            hashed = _stable_hash(feature, self.config.seed)
+            index = hashed % self.config.num_features
+            if self.config.signed:
+                sign = 1.0 if (hashed >> 32) & 1 else -1.0
+            else:
+                sign = 1.0
+            vector[index] += sign
+        if self.config.normalize:
+            norm = np.linalg.norm(vector)
+            if norm > 0:
+                vector /= norm
+        return vector
+
+    def transform(self, texts: Sequence[str]) -> np.ndarray:
+        """Vectorize a sequence of texts into a ``(n, num_features)`` matrix."""
+        if len(texts) == 0:
+            return np.zeros((0, self.config.num_features), dtype=np.float64)
+        return np.vstack([self.transform_one(text) for text in texts])
+
+
+class TfidfVectorizer:
+    """A minimal TF-IDF vectorizer (fit on a corpus, then transform)."""
+
+    def __init__(self, min_df: int = 1, max_features: int | None = None) -> None:
+        if min_df < 1:
+            raise ValueError("min_df must be >= 1")
+        self.min_df = min_df
+        self.max_features = max_features
+        self._vocabulary: dict[str, int] | None = None
+        self._idf: np.ndarray | None = None
+
+    @property
+    def vocabulary(self) -> dict[str, int]:
+        """Token → column index mapping (after :meth:`fit`)."""
+        if self._vocabulary is None:
+            raise NotFittedError("TfidfVectorizer.fit must be called before use")
+        return self._vocabulary
+
+    def fit(self, texts: Sequence[str]) -> "TfidfVectorizer":
+        """Learn the vocabulary and inverse document frequencies from ``texts``."""
+        document_frequency: dict[str, int] = {}
+        for text in texts:
+            for token in set(tokenize(text)):
+                document_frequency[token] = document_frequency.get(token, 0) + 1
+        items = [(token, df) for token, df in document_frequency.items() if df >= self.min_df]
+        # Keep the most frequent tokens when max_features caps the vocabulary.
+        items.sort(key=lambda item: (-item[1], item[0]))
+        if self.max_features is not None:
+            items = items[: self.max_features]
+        items.sort(key=lambda item: item[0])
+        self._vocabulary = {token: index for index, (token, _) in enumerate(items)}
+        n_documents = max(len(texts), 1)
+        idf = np.zeros(len(self._vocabulary), dtype=np.float64)
+        for token, index in self._vocabulary.items():
+            idf[index] = math.log((1 + n_documents) / (1 + document_frequency[token])) + 1.0
+        self._idf = idf
+        return self
+
+    def transform(self, texts: Sequence[str]) -> np.ndarray:
+        """Transform ``texts`` into an L2-normalized TF-IDF matrix."""
+        if self._vocabulary is None or self._idf is None:
+            raise NotFittedError("TfidfVectorizer.fit must be called before transform")
+        matrix = np.zeros((len(texts), len(self._vocabulary)), dtype=np.float64)
+        for row, text in enumerate(texts):
+            for token in tokenize(text):
+                column = self._vocabulary.get(token)
+                if column is not None:
+                    matrix[row, column] += 1.0
+        matrix *= self._idf
+        norms = np.linalg.norm(matrix, axis=1, keepdims=True)
+        norms[norms == 0] = 1.0
+        return matrix / norms
+
+    def fit_transform(self, texts: Sequence[str]) -> np.ndarray:
+        """Equivalent to ``fit(texts).transform(texts)``."""
+        return self.fit(texts).transform(texts)
+
+
+def cosine_similarity_matrix(a: np.ndarray, b: np.ndarray | None = None) -> np.ndarray:
+    """Pairwise cosine similarities between rows of ``a`` and rows of ``b``."""
+    a = np.asarray(a, dtype=np.float64)
+    b = a if b is None else np.asarray(b, dtype=np.float64)
+    a_norms = np.linalg.norm(a, axis=1, keepdims=True)
+    b_norms = np.linalg.norm(b, axis=1, keepdims=True)
+    a_norms[a_norms == 0] = 1.0
+    b_norms[b_norms == 0] = 1.0
+    return (a / a_norms) @ (b / b_norms).T

@@ -1,0 +1,49 @@
+"""Principal component analysis for dimensionality reduction."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import NotFittedError
+
+
+class PCA:
+    """Principal component analysis via the SVD of the centered data matrix."""
+
+    def __init__(self, num_components: int = 2) -> None:
+        if num_components <= 0:
+            raise ValueError("num_components must be positive")
+        self.num_components = num_components
+        self.mean_: np.ndarray | None = None
+        self.components_: np.ndarray | None = None
+        self.explained_variance_ratio_: np.ndarray | None = None
+
+    def fit(self, data: np.ndarray) -> "PCA":
+        """Learn the principal axes of ``data`` (rows are samples)."""
+        data = np.asarray(data, dtype=np.float64)
+        if data.ndim != 2:
+            raise ValueError("data must be 2-dimensional")
+        if self.num_components > min(data.shape):
+            raise ValueError(
+                f"num_components={self.num_components} exceeds min(data.shape)={min(data.shape)}"
+            )
+        self.mean_ = data.mean(axis=0)
+        centered = data - self.mean_
+        _, singular_values, v_transposed = np.linalg.svd(centered, full_matrices=False)
+        self.components_ = v_transposed[: self.num_components]
+        variance = singular_values ** 2
+        total = variance.sum()
+        ratio = variance / total if total > 0 else np.zeros_like(variance)
+        self.explained_variance_ratio_ = ratio[: self.num_components]
+        return self
+
+    def transform(self, data: np.ndarray) -> np.ndarray:
+        """Project ``data`` onto the learned principal axes."""
+        if self.mean_ is None or self.components_ is None:
+            raise NotFittedError("PCA.fit must be called before transform")
+        data = np.asarray(data, dtype=np.float64)
+        return (data - self.mean_) @ self.components_.T
+
+    def fit_transform(self, data: np.ndarray) -> np.ndarray:
+        """Equivalent to ``fit(data).transform(data)``."""
+        return self.fit(data).transform(data)

@@ -1,0 +1,110 @@
+"""Tests for budget splitting and distribution (Eq. 2 and the B+ schedule)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.active.budget import (
+    cap_budgets_by_size,
+    distribute_budget,
+    positive_budget,
+    split_budget,
+)
+from repro.exceptions import BudgetError
+
+
+class TestPositiveBudgetSchedule:
+    def test_paper_schedule_values(self):
+        # B+ = B * max(0.8 - i/20, 0.5) with B = 100 (Section 4.2).
+        assert positive_budget(100, 0) == 80
+        assert positive_budget(100, 1) == 75
+        assert positive_budget(100, 2) == 70
+        assert positive_budget(100, 6) == 50
+        assert positive_budget(100, 7) == 50  # floor reached
+        assert positive_budget(100, 20) == 50
+
+    def test_split_budget_sums_to_total(self):
+        for iteration in range(10):
+            positive, negative = split_budget(100, iteration)
+            assert positive + negative == 100
+
+    def test_schedule_is_non_increasing(self):
+        values = [positive_budget(100, i) for i in range(12)]
+        assert all(a >= b for a, b in zip(values, values[1:]))
+
+    def test_invalid_arguments(self):
+        with pytest.raises(BudgetError):
+            positive_budget(-1, 0)
+        with pytest.raises(BudgetError):
+            positive_budget(100, -1)
+
+
+class TestDistributeBudget:
+    def test_paper_example6(self):
+        """Example 6: 3,000 predicted matches in 10 components, B+ = 50."""
+        sizes = {}
+        for index in range(2):
+            sizes[index] = 500
+        for index in range(2, 6):
+            sizes[index] = 300
+        for index in range(6, 10):
+            sizes[index] = 200
+        shares = distribute_budget(sizes, 50, random_state=0)
+        # Base shares before the residue: 8 for the 500s, 5 for the 300s, 3
+        # for the 200s; the residue of 2 goes to random components.
+        for index in range(2):
+            assert shares[index] >= 8
+        for index in range(2, 6):
+            assert shares[index] >= 5
+        for index in range(6, 10):
+            assert shares[index] >= 3
+        assert sum(shares.values()) == 50
+
+    def test_total_equals_budget(self):
+        sizes = {0: 10, 1: 25, 2: 65}
+        shares = distribute_budget(sizes, 17, random_state=1)
+        assert sum(shares.values()) == 17
+
+    def test_zero_budget(self):
+        assert distribute_budget({0: 5, 1: 5}, 0) == {0: 0, 1: 0}
+
+    def test_empty_components(self):
+        assert distribute_budget({}, 10) == {}
+
+    def test_all_zero_sizes(self):
+        assert distribute_budget({0: 0, 1: 0}, 5) == {0: 0, 1: 0}
+
+    def test_negative_budget_rejected(self):
+        with pytest.raises(BudgetError):
+            distribute_budget({0: 5}, -1)
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(BudgetError):
+            distribute_budget({0: -5}, 1)
+
+    def test_proportionality(self):
+        sizes = {0: 900, 1: 100}
+        shares = distribute_budget(sizes, 100, random_state=3)
+        assert shares[0] >= 85
+        assert shares[1] >= 10
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        sizes=st.lists(st.integers(min_value=1, max_value=500), min_size=1, max_size=12),
+        budget=st.integers(min_value=0, max_value=200),
+    )
+    def test_property_total_preserved(self, sizes, budget):
+        component_sizes = dict(enumerate(sizes))
+        shares = distribute_budget(component_sizes, budget, random_state=0)
+        assert sum(shares.values()) == budget
+        assert all(share >= 0 for share in shares.values())
+
+
+class TestCapBudgets:
+    def test_caps_at_component_size(self):
+        shares = cap_budgets_by_size({0: 10, 1: 2}, {0: 4, 1: 5})
+        assert shares == {0: 4, 1: 2}
+
+    def test_missing_component_capped_to_zero(self):
+        assert cap_budgets_by_size({0: 3}, {}) == {0: 0}

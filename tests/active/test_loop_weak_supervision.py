@@ -1,0 +1,152 @@
+"""Tests for the active-learning loop and weak-supervision dispatch."""
+
+import numpy as np
+import pytest
+
+from repro.active.loop import ActiveLearningLoop
+from repro.active.oracle import PerfectOracle
+from repro.active.selectors import BattleshipSelector, EntropySelector, RandomSelector
+from repro.active.weak_supervision import WeakSupervisionMode, resolve_mode, select_weak_labels
+from repro.exceptions import BudgetError, ConfigurationError
+from repro.neural.matcher import MatcherConfig
+
+
+@pytest.fixture(scope="module")
+def loop_matcher_config() -> MatcherConfig:
+    return MatcherConfig(hidden_dims=(48, 24), epochs=4, batch_size=16,
+                         learning_rate=2e-3, random_state=1)
+
+
+@pytest.fixture(scope="module")
+def quick_loop_result(tiny_dataset, loop_matcher_config, small_featurizer_config):
+    loop = ActiveLearningLoop(
+        dataset=tiny_dataset,
+        selector=EntropySelector(),
+        matcher_config=loop_matcher_config,
+        featurizer_config=small_featurizer_config,
+        iterations=2,
+        budget_per_iteration=16,
+        seed_size=16,
+        random_state=5,
+    )
+    return loop.run()
+
+
+class TestWeakSupervisionDispatch:
+    def test_resolve_mode(self):
+        assert resolve_mode(None) is WeakSupervisionMode.SELECTOR
+        assert resolve_mode("off") is WeakSupervisionMode.OFF
+        assert resolve_mode("Entropy") is WeakSupervisionMode.ENTROPY
+        assert resolve_mode(WeakSupervisionMode.SELECTOR) is WeakSupervisionMode.SELECTOR
+
+    def test_resolve_mode_invalid(self):
+        with pytest.raises(ConfigurationError):
+            resolve_mode("bogus")
+
+    def test_off_mode_returns_nothing(self):
+        result = select_weak_labels(WeakSupervisionMode.OFF, RandomSelector(), None, 10)
+        assert result == {}
+
+
+class TestActiveLearningLoopValidation:
+    def test_invalid_iterations(self, tiny_dataset):
+        with pytest.raises(BudgetError):
+            ActiveLearningLoop(tiny_dataset, RandomSelector(), iterations=-1)
+
+    def test_invalid_budget(self, tiny_dataset):
+        with pytest.raises(BudgetError):
+            ActiveLearningLoop(tiny_dataset, RandomSelector(), budget_per_iteration=0)
+
+
+class TestActiveLearningLoopRun:
+    def test_records_one_per_training(self, quick_loop_result):
+        # iterations + 1 matchers are trained (seed, +B, +2B).
+        assert len(quick_loop_result.records) == 3
+
+    def test_labeled_counts_progress_by_budget(self, quick_loop_result):
+        counts = [record.num_labeled for record in quick_loop_result.records]
+        assert counts == [16, 32, 48]
+
+    def test_f1_recorded_and_bounded(self, quick_loop_result):
+        for record in quick_loop_result.records:
+            assert 0.0 <= record.f1 <= 1.0
+            assert record.test_metrics.num_examples > 0
+
+    def test_weak_labels_recorded_after_first_selection(self, quick_loop_result):
+        assert quick_loop_result.records[0].num_weak == 0
+        assert quick_loop_result.records[1].num_weak > 0
+
+    def test_learning_curve_matches_records(self, quick_loop_result):
+        curve = quick_loop_result.learning_curve()
+        assert curve.labeled_counts == [16, 32, 48]
+        assert curve.final_f1 == quick_loop_result.records[-1].f1
+
+    def test_as_rows_structure(self, quick_loop_result):
+        rows = quick_loop_result.as_rows()
+        assert len(rows) == 3
+        assert {"dataset", "selector", "iteration", "labeled", "f1"} <= set(rows[0])
+
+    def test_seed_is_class_balanced(self, tiny_dataset, loop_matcher_config,
+                                    small_featurizer_config):
+        loop = ActiveLearningLoop(
+            dataset=tiny_dataset, selector=RandomSelector(),
+            matcher_config=loop_matcher_config,
+            featurizer_config=small_featurizer_config,
+            iterations=0, budget_per_iteration=20, seed_size=20, random_state=3,
+        )
+        result = loop.run()
+        assert result.records[0].num_labeled_positives == 10
+
+    def test_oracle_query_count_matches_budget(self, tiny_dataset, loop_matcher_config,
+                                               small_featurizer_config):
+        oracle = PerfectOracle(tiny_dataset)
+        loop = ActiveLearningLoop(
+            dataset=tiny_dataset, selector=RandomSelector(), oracle=oracle,
+            matcher_config=loop_matcher_config,
+            featurizer_config=small_featurizer_config,
+            iterations=2, budget_per_iteration=10, seed_size=10, random_state=4,
+        )
+        loop.run()
+        # Seed (10) + two selection rounds (10 each).
+        assert oracle.num_queries == 30
+
+    def test_weak_supervision_off(self, tiny_dataset, loop_matcher_config,
+                                  small_featurizer_config):
+        loop = ActiveLearningLoop(
+            dataset=tiny_dataset, selector=EntropySelector(),
+            matcher_config=loop_matcher_config,
+            featurizer_config=small_featurizer_config,
+            iterations=1, budget_per_iteration=10, seed_size=10,
+            weak_supervision=WeakSupervisionMode.OFF, random_state=6,
+        )
+        result = loop.run()
+        assert all(record.num_weak == 0 for record in result.records)
+
+    def test_battleship_loop_runs_end_to_end(self, tiny_dataset, loop_matcher_config,
+                                             small_featurizer_config):
+        loop = ActiveLearningLoop(
+            dataset=tiny_dataset,
+            selector=BattleshipSelector(num_neighbors=5),
+            matcher_config=loop_matcher_config,
+            featurizer_config=small_featurizer_config,
+            iterations=2, budget_per_iteration=12, seed_size=12, random_state=8,
+        )
+        result = loop.run()
+        assert len(result.records) == 3
+        assert result.records[-1].num_labeled == 36
+        assert result.selector_name == "battleship"
+        # Selection happened, so selection runtimes are recorded.
+        assert any(seconds > 0 for seconds in result.selection_runtimes())
+
+    def test_selection_stops_when_pool_exhausted(self, tiny_dataset, loop_matcher_config,
+                                                 small_featurizer_config):
+        pool_size = len(tiny_dataset.train_indices)
+        loop = ActiveLearningLoop(
+            dataset=tiny_dataset, selector=RandomSelector(),
+            matcher_config=loop_matcher_config,
+            featurizer_config=small_featurizer_config,
+            iterations=3, budget_per_iteration=max(pool_size // 2, 1),
+            seed_size=10, random_state=9,
+        )
+        result = loop.run()
+        assert result.records[-1].num_labeled <= pool_size

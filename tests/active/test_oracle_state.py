@@ -1,0 +1,128 @@
+"""Tests for the labeling oracles and the active-learning state."""
+
+import numpy as np
+import pytest
+
+from repro.active.oracle import NoisyOracle, PerfectOracle
+from repro.active.state import ActiveLearningState
+from repro.exceptions import BudgetError, OracleError
+
+
+class TestPerfectOracle:
+    def test_returns_gold_labels(self, tiny_dataset):
+        oracle = PerfectOracle(tiny_dataset)
+        labels = tiny_dataset.labels()
+        for index in [0, 5, 10]:
+            assert oracle.query(index) == labels[index]
+
+    def test_counts_queries(self, tiny_dataset):
+        oracle = PerfectOracle(tiny_dataset)
+        oracle.query_many([0, 1, 2])
+        assert oracle.num_queries == 3
+
+    def test_out_of_range_raises(self, tiny_dataset):
+        oracle = PerfectOracle(tiny_dataset)
+        with pytest.raises(OracleError):
+            oracle.query(len(tiny_dataset.pairs) + 10)
+
+    def test_query_many_returns_mapping(self, tiny_dataset):
+        oracle = PerfectOracle(tiny_dataset)
+        result = oracle.query_many(np.array([3, 4]))
+        assert set(result) == {3, 4}
+
+
+class TestNoisyOracle:
+    def test_zero_noise_equals_perfect(self, tiny_dataset):
+        noisy = NoisyOracle(tiny_dataset, flip_probability=0.0, random_state=0)
+        perfect = PerfectOracle(tiny_dataset)
+        for index in range(20):
+            assert noisy.query(index) == perfect.query(index)
+
+    def test_full_noise_flips_everything(self, tiny_dataset):
+        noisy = NoisyOracle(tiny_dataset, flip_probability=1.0, random_state=0)
+        perfect = PerfectOracle(tiny_dataset)
+        for index in range(20):
+            assert noisy.query(index) == 1 - perfect.query(index)
+
+    def test_partial_noise_flips_some(self, tiny_dataset):
+        noisy = NoisyOracle(tiny_dataset, flip_probability=0.3, random_state=1)
+        perfect = PerfectOracle(tiny_dataset)
+        labels_noisy = [noisy.query(i) for i in range(100)]
+        labels_true = [perfect.query(i) for i in range(100)]
+        flips = sum(a != b for a, b in zip(labels_noisy, labels_true))
+        assert 10 <= flips <= 55
+
+    def test_invalid_probability(self, tiny_dataset):
+        with pytest.raises(OracleError):
+            NoisyOracle(tiny_dataset, flip_probability=1.5)
+
+
+class TestActiveLearningState:
+    def test_initial_state(self):
+        state = ActiveLearningState(universe=np.arange(10))
+        assert state.num_labeled == 0
+        assert state.num_pool == 10
+        assert len(state.pool_indices) == 10
+
+    def test_add_labels_moves_to_labeled(self):
+        state = ActiveLearningState(universe=np.arange(10))
+        state.add_labels({2: 1, 5: 0})
+        assert state.num_labeled == 2
+        assert state.is_labeled(2)
+        assert 2 not in state.pool_indices
+        assert state.labeled_positives() == [2]
+        assert state.labeled_negatives() == [5]
+
+    def test_duplicate_label_rejected(self):
+        state = ActiveLearningState(universe=np.arange(5))
+        state.add_labels({1: 1})
+        with pytest.raises(BudgetError):
+            state.add_labels({1: 0})
+
+    def test_label_outside_universe_rejected(self):
+        state = ActiveLearningState(universe=np.arange(5))
+        with pytest.raises(BudgetError):
+            state.add_labels({99: 1})
+
+    def test_invalid_label_value_rejected(self):
+        state = ActiveLearningState(universe=np.arange(5))
+        with pytest.raises(BudgetError):
+            state.add_labels({1: 2})
+
+    def test_weak_labels_do_not_count_as_labeled(self):
+        state = ActiveLearningState(universe=np.arange(10))
+        state.set_weak_labels({3: 1, 4: 0})
+        assert state.num_labeled == 0
+        indices, labels = state.training_set()
+        assert set(indices.tolist()) == {3, 4}
+        assert set(labels.tolist()) == {0, 1}
+
+    def test_weak_labels_replaced_each_iteration(self):
+        state = ActiveLearningState(universe=np.arange(10))
+        state.set_weak_labels({3: 1})
+        state.set_weak_labels({4: 0})
+        assert list(state.weak_labels) == [4]
+
+    def test_labeled_overrides_weak(self):
+        state = ActiveLearningState(universe=np.arange(10))
+        state.set_weak_labels({3: 1})
+        state.add_labels({3: 0})
+        assert state.weak_labels == {}
+        indices, labels = state.training_set()
+        assert list(indices) == [3]
+        assert list(labels) == [0]
+
+    def test_weak_labels_skip_already_labeled(self):
+        state = ActiveLearningState(universe=np.arange(10))
+        state.add_labels({2: 1})
+        state.set_weak_labels({2: 0, 5: 1})
+        assert 2 not in state.weak_labels
+        assert 5 in state.weak_labels
+
+    def test_training_set_combines_both(self):
+        state = ActiveLearningState(universe=np.arange(10))
+        state.add_labels({0: 1, 1: 0})
+        state.set_weak_labels({5: 1})
+        indices, labels = state.training_set()
+        assert len(indices) == 3
+        assert dict(zip(indices.tolist(), labels.tolist())) == {0: 1, 1: 0, 5: 1}

@@ -1,0 +1,81 @@
+"""Tests for the ZeroER and Full D baselines."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.full_training import evaluate_zeroer, train_full_matcher
+from repro.baselines.zeroer import TwoComponentGaussianMixture, ZeroER
+from repro.exceptions import NotFittedError
+from repro.neural.matcher import MatcherConfig
+
+
+class TestTwoComponentGaussianMixture:
+    def test_separates_two_blobs(self, rng):
+        low = rng.normal(loc=0.2, scale=0.05, size=(150, 4))
+        high = rng.normal(loc=0.8, scale=0.05, size=(50, 4))
+        features = np.vstack([low, high])
+        mixture = TwoComponentGaussianMixture(random_state=0)
+        mixture.fit(features)
+        posteriors = mixture.posterior_match(features)
+        assert posteriors[:150].mean() < 0.2
+        assert posteriors[150:].mean() > 0.8
+
+    def test_weights_sum_to_one(self, rng):
+        features = rng.random((100, 3))
+        result = TwoComponentGaussianMixture(random_state=1).fit(features)
+        assert result.weights.sum() == pytest.approx(1.0)
+
+    def test_requires_fit_before_posterior(self):
+        with pytest.raises(NotFittedError):
+            TwoComponentGaussianMixture().posterior_match(np.zeros((2, 2)))
+
+    def test_rejects_tiny_input(self):
+        with pytest.raises(ValueError):
+            TwoComponentGaussianMixture().fit(np.zeros((2, 2)))
+
+    def test_log_likelihood_finite(self, rng):
+        features = rng.random((50, 5))
+        result = TwoComponentGaussianMixture(random_state=2).fit(features)
+        assert np.isfinite(result.log_likelihood)
+        assert result.num_iterations >= 1
+
+
+class TestZeroER:
+    def test_requires_fit(self, tiny_dataset):
+        with pytest.raises(NotFittedError):
+            ZeroER().predict_proba(tiny_dataset)
+
+    def test_unsupervised_beats_random_guessing(self, tiny_dataset):
+        model = ZeroER(random_state=0).fit(tiny_dataset)
+        probabilities = model.predict_proba(tiny_dataset)
+        labels = tiny_dataset.labels()
+        # Match pairs should receive higher posteriors on average.
+        assert probabilities[labels == 1].mean() > probabilities[labels == 0].mean()
+
+    def test_predictions_binary(self, tiny_dataset):
+        model = ZeroER(random_state=0).fit(tiny_dataset)
+        predictions = model.predict(tiny_dataset, tiny_dataset.test_indices)
+        assert set(np.unique(predictions)).issubset({0, 1})
+
+    def test_evaluate_zeroer_metrics(self, tiny_dataset):
+        metrics = evaluate_zeroer(tiny_dataset, random_state=0)
+        assert 0.0 <= metrics.f1 <= 1.0
+        assert metrics.num_examples == len(tiny_dataset.test_indices)
+
+
+class TestFullTraining:
+    def test_full_d_reaches_reasonable_f1(self, tiny_dataset, small_featurizer_config):
+        config = MatcherConfig(hidden_dims=(64, 32), epochs=8, batch_size=16,
+                               learning_rate=2e-3, random_state=0)
+        result = train_full_matcher(tiny_dataset, config, small_featurizer_config)
+        assert result.f1 > 0.5
+        assert result.num_training_labels == len(tiny_dataset.train_indices)
+        assert result.dataset_name == tiny_dataset.name
+
+    def test_full_d_beats_zeroer(self, tiny_dataset, small_featurizer_config):
+        """The supervised upper reference should beat the unsupervised baseline."""
+        config = MatcherConfig(hidden_dims=(64, 32), epochs=8, batch_size=16,
+                               learning_rate=2e-3, random_state=0)
+        full = train_full_matcher(tiny_dataset, config, small_featurizer_config)
+        zero = evaluate_zeroer(tiny_dataset, random_state=0)
+        assert full.f1 > zero.f1

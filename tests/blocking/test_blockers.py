@@ -1,0 +1,143 @@
+"""Tests for the blocking substrate."""
+
+import pytest
+
+from repro.blocking.evaluation import evaluate_blocking
+from repro.blocking.minhash_lsh import MinHashLSHBlocker, MinHashSignature
+from repro.blocking.qgram_blocking import QGramBlocker
+from repro.blocking.token_blocking import TokenBlocker
+from repro.data.pair import CandidatePair, PairSet
+from repro.data.record import Record, Table
+from repro.data.schema import Schema
+
+
+@pytest.fixture()
+def tables():
+    schema = Schema.from_names(["title"])
+    left = Table("left", schema)
+    right = Table("right", schema)
+    titles = [
+        ("l0", "canon eos rebel t7i camera"),
+        ("l1", "nikon coolpix p900 camera"),
+        ("l2", "nike air max running shoe"),
+    ]
+    for record_id, title in titles:
+        left.add(Record(record_id, {"title": title}, entity_id=record_id))
+    matches = [
+        ("r0", "canon eos rebel t7i dslr"),
+        ("r1", "nikon coolpix p900 zoom"),
+        ("r2", "nike air max 270 shoe"),
+    ]
+    for record_id, title in matches:
+        right.add(Record(record_id, {"title": title}, entity_id=record_id))
+    gold = PairSet([
+        CandidatePair("p0", "l0", "r0", 1),
+        CandidatePair("p1", "l1", "r1", 1),
+        CandidatePair("p2", "l2", "r2", 1),
+        CandidatePair("p3", "l0", "r1", 0),
+    ])
+    return left, right, gold
+
+
+class TestTokenBlocker:
+    def test_recalls_all_matches(self, tables):
+        left, right, gold = tables
+        candidates = TokenBlocker().block(left, right)
+        report = evaluate_blocking(candidates, gold, left, right)
+        assert report.pair_completeness == 1.0
+
+    def test_does_not_pair_unrelated_records(self, tables):
+        left, right, _ = tables
+        candidates = TokenBlocker().block(left, right)
+        assert ("l2", "r0") not in candidates
+
+    def test_stop_tokens_pruned(self, tables):
+        left, right, _ = tables
+        # With max_block_size=1, the shared token "camera" (2 left records)
+        # no longer produces candidates.
+        small = TokenBlocker(max_block_size=1).block(left, right)
+        large = TokenBlocker(max_block_size=100).block(left, right)
+        assert len(small) <= len(large)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            TokenBlocker(max_block_size=0)
+        with pytest.raises(ValueError):
+            TokenBlocker(min_token_length=0)
+
+    def test_candidate_pairs_materialization(self, tables):
+        left, right, gold = tables
+        labels = {pair.key: pair.label for pair in gold}
+        pairs = TokenBlocker().candidate_pairs(left, right, labels=labels)
+        assert len(pairs) > 0
+        labeled = [pair for pair in pairs if pair.label is not None]
+        assert labeled
+
+
+class TestQGramBlocker:
+    def test_tolerates_typos(self):
+        schema = Schema.from_names(["title"])
+        left, right = Table("left", schema), Table("right", schema)
+        left.add(Record("l0", {"title": "panasonic lumix"}))
+        right.add(Record("r0", {"title": "panasonik lumix"}))
+        candidates = QGramBlocker(min_shared_qgrams=3).block(left, right)
+        assert ("l0", "r0") in candidates
+
+    def test_threshold_filters_weak_overlap(self):
+        schema = Schema.from_names(["title"])
+        left, right = Table("left", schema), Table("right", schema)
+        left.add(Record("l0", {"title": "aaaa"}))
+        right.add(Record("r0", {"title": "zzzz"}))
+        assert QGramBlocker().block(left, right) == set()
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            QGramBlocker(q=0)
+        with pytest.raises(ValueError):
+            QGramBlocker(min_shared_qgrams=0)
+
+
+class TestMinHash:
+    def test_signature_estimates_jaccard(self):
+        minhash = MinHashSignature(num_permutations=256, random_state=0)
+        set_a = {f"token{i}" for i in range(100)}
+        set_b = {f"token{i}" for i in range(50, 150)}
+        estimate = MinHashSignature.estimated_jaccard(
+            minhash.signature(set_a), minhash.signature(set_b))
+        true_jaccard = 50 / 150
+        assert estimate == pytest.approx(true_jaccard, abs=0.12)
+
+    def test_empty_set_signature(self):
+        minhash = MinHashSignature(num_permutations=16, random_state=0)
+        signature = minhash.signature(set())
+        assert len(signature) == 16
+
+    def test_mismatched_shapes_raise(self):
+        minhash = MinHashSignature(num_permutations=16, random_state=0)
+        with pytest.raises(ValueError):
+            MinHashSignature.estimated_jaccard(
+                minhash.signature({"a"}),
+                MinHashSignature(num_permutations=8, random_state=0).signature({"a"}))
+
+
+class TestMinHashLSHBlocker:
+    def test_recalls_near_duplicates(self, tables):
+        left, right, gold = tables
+        blocker = MinHashLSHBlocker(num_permutations=64, num_bands=32, random_state=0)
+        candidates = blocker.block(left, right)
+        report = evaluate_blocking(candidates, gold, left, right)
+        assert report.pair_completeness >= 2 / 3
+
+    def test_invalid_band_configuration(self):
+        with pytest.raises(ValueError):
+            MinHashLSHBlocker(num_permutations=10, num_bands=3)
+
+
+class TestBlockingReport:
+    def test_reduction_ratio(self, tables):
+        left, right, gold = tables
+        report = evaluate_blocking({("l0", "r0")}, gold, left, right)
+        assert report.reduction_ratio == pytest.approx(1.0 - 1.0 / 9.0)
+        assert report.num_candidates == 1
+        assert report.num_true_matches == 3
+        assert report.num_recalled_matches == 1

@@ -1,0 +1,67 @@
+"""Shared fixtures for the test suite.
+
+Heavy objects (synthetic benchmarks, trained matchers) are session-scoped so
+the whole suite stays fast; individual tests must not mutate them.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.dataset import EMDataset
+from repro.datasets.registry import load_benchmark
+from repro.neural.featurizer import FeaturizerConfig, PairFeaturizer
+from repro.neural.matcher import MatcherConfig, NeuralMatcher
+
+
+@pytest.fixture(scope="session")
+def tiny_dataset() -> EMDataset:
+    """A tiny Amazon-Google style benchmark used across the suite."""
+    return load_benchmark("amazon_google", scale="tiny", random_state=7)
+
+
+@pytest.fixture(scope="session")
+def tiny_product_dataset() -> EMDataset:
+    """A tiny Walmart-Amazon style benchmark (5 attributes, numeric price)."""
+    return load_benchmark("walmart_amazon", scale="tiny", random_state=11)
+
+
+@pytest.fixture(scope="session")
+def fast_matcher_config() -> MatcherConfig:
+    """A small, quick-to-train matcher configuration for tests."""
+    return MatcherConfig(hidden_dims=(64, 32), dropout=0.1, epochs=6, batch_size=16,
+                         learning_rate=2e-3, random_state=3)
+
+
+@pytest.fixture(scope="session")
+def small_featurizer_config() -> FeaturizerConfig:
+    """A narrow featurizer configuration for tests."""
+    return FeaturizerConfig(hash_dim=64)
+
+
+@pytest.fixture(scope="session")
+def tiny_features(tiny_dataset, small_featurizer_config) -> np.ndarray:
+    """Feature matrix of every candidate pair of the tiny dataset."""
+    featurizer = PairFeaturizer(small_featurizer_config)
+    return featurizer.transform(tiny_dataset)
+
+
+@pytest.fixture(scope="session")
+def fitted_matcher(tiny_dataset, tiny_features, fast_matcher_config) -> NeuralMatcher:
+    """A matcher trained on the full train split of the tiny dataset."""
+    matcher = NeuralMatcher(input_dim=tiny_features.shape[1], config=fast_matcher_config)
+    train = tiny_dataset.train_indices
+    validation = tiny_dataset.validation_indices
+    matcher.fit(
+        tiny_features[train], tiny_dataset.labels(train),
+        validation_features=tiny_features[validation],
+        validation_labels=tiny_dataset.labels(validation),
+    )
+    return matcher
+
+
+@pytest.fixture()
+def rng() -> np.random.Generator:
+    """A fresh deterministic random generator per test."""
+    return np.random.default_rng(1234)

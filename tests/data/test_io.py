@@ -1,0 +1,97 @@
+"""Tests for repro.data.io (CSV / export round trips)."""
+
+import json
+
+import pytest
+
+from repro.data.io import (
+    export_dataset,
+    read_pairs_csv,
+    read_table_csv,
+    write_pairs_csv,
+    write_serialized_pairs,
+    write_table_csv,
+)
+from repro.data.pair import CandidatePair, PairSet
+from repro.data.record import Record, Table
+from repro.data.schema import Schema
+from repro.exceptions import DatasetError
+
+
+@pytest.fixture()
+def schema() -> Schema:
+    return Schema.from_names(["title", "price"])
+
+
+@pytest.fixture()
+def table(schema) -> Table:
+    table = Table("left", schema)
+    table.add(Record("l0", {"title": "sony tv", "price": "100"}, entity_id="e0"))
+    table.add(Record("l1", {"title": "lg monitor", "price": ""}))
+    return table
+
+
+class TestTableCSV:
+    def test_roundtrip(self, tmp_path, table, schema):
+        path = write_table_csv(table, tmp_path / "tableA.csv")
+        loaded = read_table_csv(path, schema, name="left")
+        assert len(loaded) == 2
+        assert loaded["l0"].value("title") == "sony tv"
+        assert loaded["l0"].entity_id == "e0"
+        assert loaded["l1"].entity_id is None
+
+    def test_missing_file_raises(self, tmp_path, schema):
+        with pytest.raises(DatasetError):
+            read_table_csv(tmp_path / "nope.csv", schema)
+
+    def test_missing_id_column_raises(self, tmp_path, schema):
+        path = tmp_path / "bad.csv"
+        path.write_text("title,price\nsony tv,100\n", encoding="utf-8")
+        with pytest.raises(DatasetError):
+            read_table_csv(path, schema)
+
+
+class TestPairsCSV:
+    def test_roundtrip_preserves_labels(self, tmp_path):
+        pairs = PairSet([
+            CandidatePair("p0", "l0", "r0", 1),
+            CandidatePair("p1", "l1", "r1", 0),
+            CandidatePair("p2", "l2", "r2", None),
+        ])
+        path = write_pairs_csv(pairs, tmp_path / "pairs.csv")
+        loaded = read_pairs_csv(path)
+        assert len(loaded) == 3
+        assert loaded.by_id("p0").label == 1
+        assert loaded.by_id("p1").label == 0
+        assert loaded.by_id("p2").label is None
+
+    def test_missing_columns_raise(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("a,b\n1,2\n", encoding="utf-8")
+        with pytest.raises(DatasetError):
+            read_pairs_csv(path)
+
+    def test_missing_file_raises(self, tmp_path):
+        with pytest.raises(DatasetError):
+            read_pairs_csv(tmp_path / "nope.csv")
+
+
+class TestDatasetExport:
+    def test_export_layout(self, tmp_path, tiny_dataset):
+        written = export_dataset(tiny_dataset, tmp_path / "bench")
+        assert set(written) == {"tableA", "tableB", "pairs", "split"}
+        for path in written.values():
+            assert path.exists()
+        split = json.loads(written["split"].read_text(encoding="utf-8"))
+        assert set(split) == {"train", "validation", "test"}
+        assert len(split["train"]) == len(tiny_dataset.train_indices)
+
+    def test_write_serialized_pairs(self, tmp_path, tiny_dataset):
+        path = write_serialized_pairs(tiny_dataset, tmp_path / "pairs.txt",
+                                      indices=range(5))
+        lines = path.read_text(encoding="utf-8").strip().splitlines()
+        assert len(lines) == 5
+        for line in lines:
+            text, label = line.rsplit("\t", 1)
+            assert "[SEP]" in text
+            assert label in {"0", "1"}

@@ -1,0 +1,96 @@
+"""Tests for repro.data.schema."""
+
+import pytest
+
+from repro.data.schema import (
+    Attribute,
+    AttributeType,
+    Schema,
+    bibliographic_schema,
+    product_schema,
+)
+from repro.exceptions import SchemaError
+
+
+class TestAttribute:
+    def test_defaults_to_text(self):
+        attribute = Attribute("title")
+        assert attribute.kind is AttributeType.TEXT
+        assert attribute.weight == 1.0
+
+    def test_rejects_empty_name(self):
+        with pytest.raises(SchemaError):
+            Attribute("")
+
+    def test_rejects_whitespace_name(self):
+        with pytest.raises(SchemaError):
+            Attribute("   ")
+
+    def test_rejects_non_positive_weight(self):
+        with pytest.raises(SchemaError):
+            Attribute("title", weight=0.0)
+        with pytest.raises(SchemaError):
+            Attribute("title", weight=-1.0)
+
+
+class TestSchema:
+    def test_attribute_names_preserve_order(self):
+        schema = Schema.from_names(["b", "a", "c"])
+        assert schema.attribute_names == ("b", "a", "c")
+
+    def test_rejects_empty_schema(self):
+        with pytest.raises(SchemaError):
+            Schema(attributes=())
+
+    def test_rejects_duplicate_attribute_names(self):
+        with pytest.raises(SchemaError):
+            Schema(attributes=(Attribute("title"), Attribute("title")))
+
+    def test_len_and_iteration(self):
+        schema = Schema.from_names(["x", "y"])
+        assert len(schema) == 2
+        assert [attribute.name for attribute in schema] == ["x", "y"]
+
+    def test_contains(self):
+        schema = Schema.from_names(["title", "price"])
+        assert "title" in schema
+        assert "brand" not in schema
+
+    def test_attribute_lookup(self):
+        schema = Schema.from_names(["title", "price"],
+                                   kinds={"price": AttributeType.NUMERIC})
+        assert schema.attribute("price").kind is AttributeType.NUMERIC
+
+    def test_attribute_lookup_missing_raises(self):
+        schema = Schema.from_names(["title"])
+        with pytest.raises(SchemaError):
+            schema.attribute("brand")
+
+    def test_validate_values_accepts_known_attributes(self):
+        schema = Schema.from_names(["title", "price"])
+        schema.validate_values({"title": "a", "price": "1"})
+
+    def test_validate_values_rejects_unknown_attributes(self):
+        schema = Schema.from_names(["title"])
+        with pytest.raises(SchemaError):
+            schema.validate_values({"brand": "sony"})
+
+    def test_validate_values_accepts_partial_records(self):
+        schema = Schema.from_names(["title", "price"])
+        schema.validate_values({"title": "only title"})
+
+
+class TestConvenienceFactories:
+    def test_product_schema_defaults(self):
+        schema = product_schema()
+        assert schema.attribute_names == ("title", "manufacturer", "price")
+        assert schema.attribute("price").kind is AttributeType.NUMERIC
+
+    def test_product_schema_custom_attributes(self):
+        schema = product_schema(["title", "brand"])
+        assert schema.attribute_names == ("title", "brand")
+
+    def test_bibliographic_schema(self):
+        schema = bibliographic_schema()
+        assert schema.attribute_names == ("title", "authors", "venue", "year")
+        assert schema.attribute("year").kind is AttributeType.NUMERIC

@@ -1,0 +1,118 @@
+"""Tests for repro.data.serialization (DITTO-style serialization, Example 3)."""
+
+import pytest
+
+from repro.data.record import Record
+from repro.data.schema import Schema
+from repro.data.serialization import (
+    CLS_TOKEN,
+    COL_TOKEN,
+    SEP_TOKEN,
+    VAL_TOKEN,
+    SerializationConfig,
+    deserialize_record,
+    serialize_pair,
+    serialize_record,
+    split_pair_serialization,
+    truncate_tokens,
+)
+
+
+@pytest.fixture()
+def schema() -> Schema:
+    return Schema.from_names(["title", "manufacturer", "price"])
+
+
+@pytest.fixture()
+def amazon_record() -> Record:
+    return Record("a1", {
+        "title": "sims 2 glamour life stuff pack",
+        "manufacturer": "aspyr media",
+        "price": "24.99",
+    })
+
+
+@pytest.fixture()
+def google_record() -> Record:
+    return Record("g1", {
+        "title": "aspyr media inc sims 2 glamour life stuff pack",
+        "manufacturer": "",
+        "price": "23.44",
+    })
+
+
+class TestSerializeRecord:
+    def test_paper_example_structure(self, schema, amazon_record):
+        text = serialize_record(amazon_record, schema)
+        assert text.startswith(f"{COL_TOKEN} title {VAL_TOKEN} sims 2 glamour life stuff pack")
+        assert f"{COL_TOKEN} manufacturer {VAL_TOKEN} aspyr media" in text
+        assert f"{COL_TOKEN} price {VAL_TOKEN} 24.99" in text
+
+    def test_missing_value_serialized_empty(self, schema, google_record):
+        text = serialize_record(google_record, schema)
+        assert f"{COL_TOKEN} manufacturer {VAL_TOKEN} {COL_TOKEN}" in text
+
+    def test_lowercasing(self, schema):
+        record = Record("r", {"title": "SONY Bravia"})
+        text = serialize_record(record, schema)
+        assert "sony bravia" in text
+        assert "SONY" not in text
+
+    def test_lowercasing_can_be_disabled(self, schema):
+        record = Record("r", {"title": "SONY"})
+        config = SerializationConfig(lowercase=False)
+        assert "SONY" in serialize_record(record, schema, config)
+
+    def test_attribute_restriction(self, schema, amazon_record):
+        config = SerializationConfig(attributes=("title",))
+        text = serialize_record(amazon_record, schema, config)
+        assert "manufacturer" not in text
+        assert "price" not in text
+
+
+class TestSerializePair:
+    def test_paper_example_full_pair(self, schema, amazon_record, google_record):
+        text = serialize_pair(amazon_record, google_record, schema)
+        expected = (
+            "[CLS] [COL] title [VAL] sims 2 glamour life stuff pack "
+            "[COL] manufacturer [VAL] aspyr media [COL] price [VAL] 24.99 "
+            "[SEP] [COL] title [VAL] aspyr media inc sims 2 glamour life stuff pack "
+            "[COL] manufacturer [VAL] [COL] price [VAL] 23.44"
+        )
+        assert text == expected
+
+    def test_cls_token_optional(self, schema, amazon_record, google_record):
+        config = SerializationConfig(include_cls=False)
+        text = serialize_pair(amazon_record, google_record, schema, config=config)
+        assert not text.startswith(CLS_TOKEN)
+        assert SEP_TOKEN in text
+
+    def test_truncation_to_max_tokens(self, schema):
+        long_record = Record("r", {"title": " ".join(["word"] * 600)})
+        config = SerializationConfig(max_tokens=50)
+        text = serialize_pair(long_record, long_record, schema, config=config)
+        assert len(text.split()) == 50
+
+    def test_roundtrip_split(self, schema, amazon_record, google_record):
+        text = serialize_pair(amazon_record, google_record, schema)
+        left, right = split_pair_serialization(text)
+        assert "sims 2 glamour" in left
+        assert "aspyr media inc" in right
+
+
+class TestHelpers:
+    def test_truncate_tokens_noop_when_short(self):
+        assert truncate_tokens("a b c", 10) == "a b c"
+
+    def test_truncate_tokens_zero(self):
+        assert truncate_tokens("a b c", 0) == ""
+
+    def test_deserialize_record_roundtrip(self, schema, amazon_record):
+        text = serialize_record(amazon_record, schema)
+        values = deserialize_record(text)
+        assert values["title"] == "sims 2 glamour life stuff pack"
+        assert values["manufacturer"] == "aspyr media"
+        assert values["price"] == "24.99"
+
+    def test_deserialize_ignores_garbage(self):
+        assert deserialize_record("no tokens here") == {}

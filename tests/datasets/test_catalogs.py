@@ -1,0 +1,81 @@
+"""Tests for the catalog generators (products and bibliographic)."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.bibliographic import dblp_scholar_catalog
+from repro.datasets.products import (
+    abt_buy_catalog,
+    amazon_google_catalog,
+    walmart_amazon_catalog,
+    wdc_cameras_catalog,
+    wdc_shoes_catalog,
+)
+
+ALL_CATALOGS = [
+    ("walmart_amazon", walmart_amazon_catalog,
+     {"title", "category", "brand", "modelno", "price"}),
+    ("amazon_google", amazon_google_catalog, {"title", "manufacturer", "price"}),
+    ("abt_buy", abt_buy_catalog, {"name", "description", "price"}),
+    ("wdc_cameras", wdc_cameras_catalog, {"title"}),
+    ("wdc_shoes", wdc_shoes_catalog, {"title"}),
+    ("dblp_scholar", dblp_scholar_catalog, {"title", "authors", "venue", "year"}),
+]
+
+
+@pytest.mark.parametrize("name,catalog,expected_attributes", ALL_CATALOGS)
+class TestCatalogContracts:
+    def test_produces_requested_count(self, name, catalog, expected_attributes):
+        entities = catalog(50, np.random.default_rng(0))
+        assert len(entities) == 50
+
+    def test_attributes_match_schema(self, name, catalog, expected_attributes):
+        entities = catalog(10, np.random.default_rng(1))
+        for entity in entities:
+            assert set(entity.values) == expected_attributes
+
+    def test_entity_ids_unique(self, name, catalog, expected_attributes):
+        entities = catalog(80, np.random.default_rng(2))
+        ids = [entity.entity_id for entity in entities]
+        assert len(set(ids)) == len(ids)
+
+    def test_values_non_empty(self, name, catalog, expected_attributes):
+        entities = catalog(30, np.random.default_rng(3))
+        for entity in entities:
+            for value in entity.values.values():
+                assert value.strip()
+
+    def test_families_shared_across_entities(self, name, catalog, expected_attributes):
+        # Hard negatives require several entities per family.
+        entities = catalog(200, np.random.default_rng(4))
+        families = {}
+        for entity in entities:
+            families.setdefault(entity.family, 0)
+            families[entity.family] += 1
+        assert max(families.values()) >= 2
+
+    def test_deterministic_given_seed(self, name, catalog, expected_attributes):
+        first = catalog(20, np.random.default_rng(9))
+        second = catalog(20, np.random.default_rng(9))
+        assert [e.values for e in first] == [e.values for e in second]
+
+
+class TestDomainSpecifics:
+    def test_abt_buy_descriptions_are_long(self):
+        entities = abt_buy_catalog(40, np.random.default_rng(5))
+        lengths = [len(entity.values["description"].split()) for entity in entities]
+        assert np.mean(lengths) > 15
+
+    def test_wdc_catalogs_are_title_only(self):
+        cameras = wdc_cameras_catalog(10, np.random.default_rng(6))
+        assert all(set(entity.values) == {"title"} for entity in cameras)
+
+    def test_dblp_years_are_plausible(self):
+        entities = dblp_scholar_catalog(60, np.random.default_rng(7))
+        years = [int(entity.values["year"]) for entity in entities]
+        assert all(1990 <= year <= 2020 for year in years)
+
+    def test_prices_parse_as_floats(self):
+        entities = walmart_amazon_catalog(30, np.random.default_rng(8))
+        for entity in entities:
+            assert float(entity.values["price"]) > 0

@@ -1,0 +1,117 @@
+"""Tests for the corruption pipeline (repro.datasets.corruptions)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.datasets.corruptions import (
+    CLEAN_SOURCE,
+    DIRTY_SOURCE,
+    CorruptionConfig,
+    corrupt_numeric,
+    corrupt_text,
+    corrupt_values,
+    introduce_typo,
+)
+
+
+class TestCorruptionConfig:
+    def test_rejects_out_of_range_rates(self):
+        with pytest.raises(ValueError):
+            CorruptionConfig(typo_rate=1.5)
+        with pytest.raises(ValueError):
+            CorruptionConfig(missing_rate=-0.1)
+        with pytest.raises(ValueError):
+            CorruptionConfig(numeric_noise=-1.0)
+
+    def test_scaled_caps_at_one(self):
+        config = CorruptionConfig(typo_rate=0.6).scaled(3.0)
+        assert config.typo_rate == 1.0
+
+    def test_scaled_rejects_negative_factor(self):
+        with pytest.raises(ValueError):
+            CorruptionConfig().scaled(-1.0)
+
+    def test_profiles_ordered_by_noise(self):
+        assert DIRTY_SOURCE.typo_rate > CLEAN_SOURCE.typo_rate
+        assert DIRTY_SOURCE.missing_rate > CLEAN_SOURCE.missing_rate
+
+
+class TestIntroduceTypo:
+    def test_empty_token_unchanged(self, rng):
+        assert introduce_typo("", rng) == ""
+
+    def test_typo_changes_or_keeps_length_close(self, rng):
+        token = "photography"
+        for _ in range(50):
+            mutated = introduce_typo(token, rng)
+            assert abs(len(mutated) - len(token)) <= 1
+
+
+class TestCorruptText:
+    def test_no_noise_keeps_text(self, rng):
+        config = CorruptionConfig(typo_rate=0, token_drop_rate=0, token_swap_rate=0,
+                                  abbreviation_rate=0, missing_rate=0,
+                                  injection_rate=0)
+        assert corrupt_text("canon eos rebel", config, rng) == "canon eos rebel"
+
+    def test_missing_rate_one_blanks_value(self, rng):
+        config = CorruptionConfig(missing_rate=1.0)
+        assert corrupt_text("anything", config, rng) == ""
+
+    def test_abbreviations_applied(self, rng):
+        config = CorruptionConfig(abbreviation_rate=1.0, typo_rate=0, token_drop_rate=0,
+                                  token_swap_rate=0, missing_rate=0, injection_rate=0)
+        assert corrupt_text("acme corporation", config, rng) == "acme corp"
+
+    def test_empty_input_stays_empty(self, rng):
+        assert corrupt_text("", DIRTY_SOURCE, rng) == ""
+
+    def test_heavy_drops_keep_at_least_one_token(self, rng):
+        config = CorruptionConfig(token_drop_rate=1.0, missing_rate=0.0)
+        result = corrupt_text("alpha beta gamma", config, rng)
+        assert result != ""
+
+    @settings(max_examples=30, deadline=None)
+    @given(text=st.text(alphabet="abcdefgh ", min_size=1, max_size=40),
+           seed=st.integers(min_value=0, max_value=10_000))
+    def test_property_deterministic_given_seed(self, text, seed):
+        config = DIRTY_SOURCE
+        first = corrupt_text(text, config, np.random.default_rng(seed))
+        second = corrupt_text(text, config, np.random.default_rng(seed))
+        assert first == second
+
+
+class TestCorruptNumeric:
+    def test_noise_within_bounds(self, rng):
+        config = CorruptionConfig(numeric_noise=0.1, missing_rate=0.0)
+        for _ in range(20):
+            value = float(corrupt_numeric("100.0", config, rng))
+            assert 85.0 <= value <= 115.0
+
+    def test_zero_noise_keeps_value(self, rng):
+        config = CorruptionConfig(numeric_noise=0.0, missing_rate=0.0)
+        assert corrupt_numeric("42.50", config, rng) == "42.50"
+
+    def test_non_numeric_falls_back_to_text(self, rng):
+        config = CorruptionConfig(numeric_noise=0.1, missing_rate=0.0, typo_rate=0.0,
+                                  token_drop_rate=0.0, token_swap_rate=0.0,
+                                  abbreviation_rate=0.0, injection_rate=0.0)
+        assert corrupt_numeric("n/a", config, rng) == "n/a"
+
+    def test_empty_value_unchanged(self, rng):
+        assert corrupt_numeric("", DIRTY_SOURCE, rng) == ""
+
+
+class TestCorruptValues:
+    def test_all_attributes_processed(self, rng):
+        values = {"title": "canon camera", "price": "250.00"}
+        result = corrupt_values(values, CLEAN_SOURCE, rng, numeric_attributes=("price",))
+        assert set(result) == {"title", "price"}
+
+    def test_accepts_seed_instead_of_generator(self):
+        values = {"title": "canon camera"}
+        first = corrupt_values(values, DIRTY_SOURCE, 5)
+        second = corrupt_values(values, DIRTY_SOURCE, 5)
+        assert first == second

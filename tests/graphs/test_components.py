@@ -1,0 +1,68 @@
+"""Tests for union-find and connected components."""
+
+import pytest
+
+from repro.graphs.components import UnionFind, connected_components
+
+
+class TestUnionFind:
+    def test_singletons(self):
+        uf = UnionFind(["a", "b", "c"])
+        assert len(uf) == 3
+        assert not uf.connected("a", "b")
+
+    def test_union_and_find(self):
+        uf = UnionFind(["a", "b", "c", "d"])
+        uf.union("a", "b")
+        uf.union("c", "d")
+        assert uf.connected("a", "b")
+        assert not uf.connected("a", "c")
+        uf.union("b", "c")
+        assert uf.connected("a", "d")
+
+    def test_groups_sorted_by_size(self):
+        uf = UnionFind(range(6))
+        uf.union(0, 1)
+        uf.union(1, 2)
+        uf.union(3, 4)
+        groups = uf.groups()
+        assert len(groups) == 3
+        assert len(groups[0]) == 3
+        assert len(groups[1]) == 2
+        assert len(groups[2]) == 1
+
+    def test_unknown_element_raises(self):
+        uf = UnionFind(["a"])
+        with pytest.raises(KeyError):
+            uf.find("missing")
+
+    def test_add_is_idempotent(self):
+        uf = UnionFind()
+        uf.add("a")
+        uf.add("a")
+        assert len(uf) == 1
+
+    def test_union_returns_root(self):
+        uf = UnionFind(["a", "b"])
+        root = uf.union("a", "b")
+        assert root in {"a", "b"}
+        assert uf.union("a", "b") == root
+
+
+class TestConnectedComponents:
+    def test_basic_components(self):
+        components = connected_components([1, 2, 3, 4, 5], [(1, 2), (2, 3)])
+        sizes = sorted(len(component) for component in components)
+        assert sizes == [1, 1, 3]
+
+    def test_isolated_nodes_are_singletons(self):
+        components = connected_components(["x", "y"], [])
+        assert sorted(map(len, components)) == [1, 1]
+
+    def test_edges_may_introduce_new_nodes(self):
+        components = connected_components([1], [(2, 3)])
+        assert {frozenset(c) for c in components} == {frozenset({1}), frozenset({2, 3})}
+
+    def test_largest_component_first(self):
+        components = connected_components(range(10), [(i, i + 1) for i in range(4)])
+        assert len(components[0]) == 5

@@ -1,0 +1,147 @@
+"""Tests for conditional entropy, spatial confidence, and PageRank."""
+
+import numpy as np
+import pytest
+
+from repro.graphs.entropy import (
+    certainty_score,
+    certainty_scores,
+    conditional_entropy,
+    spatial_confidence,
+)
+from repro.graphs.pagerank import pagerank, pagerank_per_component
+from repro.graphs.pair_graph import PairGraph, PairNode
+
+
+def _chain_graph(weights=(1.0, 1.0, 1.0)) -> PairGraph:
+    """A path graph 0 - 1 - 2 - 3 with the given edge weights."""
+    graph = PairGraph()
+    for node_id in range(4):
+        graph.add_node(PairNode(node_id=node_id, prediction=1, confidence=0.9,
+                                match_probability=0.9))
+    for i, weight in enumerate(weights):
+        graph.add_edge(i, i + 1, weight)
+    return graph
+
+
+class TestConditionalEntropy:
+    def test_maximum_at_half(self):
+        assert conditional_entropy(0.5) == pytest.approx(np.log(2))
+
+    def test_symmetry(self):
+        assert conditional_entropy(0.2) == pytest.approx(conditional_entropy(0.8))
+
+    def test_extremes_are_near_zero(self):
+        assert conditional_entropy(0.0) < 1e-8
+        assert conditional_entropy(1.0) < 1e-8
+
+    def test_vectorized(self):
+        values = conditional_entropy(np.array([0.1, 0.5, 0.9]))
+        assert values.shape == (3,)
+        assert values[1] == pytest.approx(np.log(2))
+
+    def test_monotone_towards_half(self):
+        assert conditional_entropy(0.4) > conditional_entropy(0.2)
+
+
+class TestSpatialConfidence:
+    def test_isolated_node_falls_back_to_own_confidence(self):
+        graph = PairGraph()
+        graph.add_node(PairNode(0, prediction=1, confidence=0.8, match_probability=0.8))
+        assert spatial_confidence(graph, 0) == pytest.approx(0.8)
+
+    def test_agreeing_neighbourhood_gives_high_confidence(self):
+        graph = _chain_graph()
+        assert spatial_confidence(graph, 1) == pytest.approx(1.0)
+
+    def test_disagreeing_neighbourhood_lowers_confidence(self):
+        graph = PairGraph()
+        graph.add_node(PairNode(0, prediction=1, confidence=0.9, match_probability=0.9))
+        graph.add_node(PairNode(1, prediction=0, confidence=0.9, match_probability=0.1))
+        graph.add_node(PairNode(2, prediction=0, confidence=0.9, match_probability=0.1))
+        graph.add_edge(0, 1, 1.0)
+        graph.add_edge(0, 2, 1.0)
+        assert spatial_confidence(graph, 0) == pytest.approx(0.0)
+
+    def test_certainty_scores_batch(self):
+        graph = _chain_graph()
+        scores = certainty_scores(graph, beta=0.5)
+        assert set(scores) == {0, 1, 2, 3}
+        assert all(value >= 0 for value in scores.values())
+
+    def test_invalid_beta(self):
+        graph = _chain_graph()
+        with pytest.raises(ValueError):
+            certainty_score(graph, 0, beta=1.5)
+
+
+class TestPageRank:
+    def test_scores_sum_to_one(self):
+        graph = _chain_graph()
+        scores = pagerank(graph)
+        assert sum(scores.values()) == pytest.approx(1.0)
+
+    def test_central_nodes_rank_higher(self):
+        graph = _chain_graph()
+        scores = pagerank(graph)
+        assert scores[1] > scores[0]
+        assert scores[2] > scores[3]
+
+    def test_star_center_dominates(self):
+        graph = PairGraph()
+        for node_id in range(5):
+            graph.add_node(PairNode(node_id, 1, 0.9, 0.9))
+        for leaf in range(1, 5):
+            graph.add_edge(0, leaf, 1.0)
+        scores = pagerank(graph)
+        assert scores[0] == max(scores.values())
+
+    def test_edge_weights_steer_the_walk(self):
+        graph = PairGraph()
+        for node_id in range(3):
+            graph.add_node(PairNode(node_id, 1, 0.9, 0.9))
+        graph.add_edge(0, 1, 10.0)
+        graph.add_edge(0, 2, 0.1)
+        scores = pagerank(graph)
+        assert scores[1] > scores[2]
+
+    def test_single_node(self):
+        graph = PairGraph()
+        graph.add_node(PairNode(0, 1, 0.9, 0.9))
+        assert pagerank(graph) == {0: 1.0}
+
+    def test_empty_graph(self):
+        assert pagerank(PairGraph()) == {}
+
+    def test_invalid_damping(self):
+        with pytest.raises(ValueError):
+            pagerank(_chain_graph(), damping=1.5)
+
+    def test_restricted_node_set(self):
+        graph = _chain_graph()
+        scores = pagerank(graph, nodes=[0, 1])
+        assert set(scores) == {0, 1}
+        assert sum(scores.values()) == pytest.approx(1.0)
+
+    def test_per_component_excludes_labeled(self):
+        graph = PairGraph()
+        graph.add_node(PairNode(0, 1, 1.0, 1.0, labeled=True))
+        graph.add_node(PairNode(1, 1, 0.9, 0.9))
+        graph.add_node(PairNode(2, 1, 0.9, 0.9))
+        graph.add_edge(0, 1, 1.0)
+        graph.add_edge(1, 2, 1.0)
+        scores = pagerank_per_component(graph, pool_only=True)
+        assert 0 not in scores
+        assert set(scores) == {1, 2}
+
+    def test_per_component_normalizes_within_components(self):
+        graph = _chain_graph()
+        # Add an isolated second component.
+        graph.add_node(PairNode(10, 0, 0.9, 0.1))
+        graph.add_node(PairNode(11, 0, 0.9, 0.1))
+        graph.add_edge(10, 11, 1.0)
+        scores = pagerank_per_component(graph, pool_only=False)
+        first = sum(scores[node] for node in range(4))
+        second = scores[10] + scores[11]
+        assert first == pytest.approx(1.0)
+        assert second == pytest.approx(1.0)

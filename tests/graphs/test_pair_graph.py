@@ -1,0 +1,158 @@
+"""Tests for the pair graph data structure and the edge-creation procedure."""
+
+import numpy as np
+import pytest
+
+from repro.graphs.pair_graph import PairGraph, PairNode, build_pair_graph
+
+
+def _simple_graph() -> PairGraph:
+    graph = PairGraph()
+    for node_id, prediction in [(0, 1), (1, 1), (2, 0)]:
+        graph.add_node(PairNode(node_id=node_id, prediction=prediction,
+                                confidence=0.9, match_probability=float(prediction)))
+    graph.add_edge(0, 1, 0.8)
+    return graph
+
+
+class TestPairGraphStructure:
+    def test_counts(self):
+        graph = _simple_graph()
+        assert graph.num_nodes == 3
+        assert graph.num_edges == 1
+
+    def test_edge_is_undirected(self):
+        graph = _simple_graph()
+        assert graph.has_edge(0, 1)
+        assert graph.has_edge(1, 0)
+        assert graph.edge_weight(1, 0) == pytest.approx(0.8)
+
+    def test_neighbors(self):
+        graph = _simple_graph()
+        assert graph.neighbors(0) == {1: 0.8}
+        assert graph.neighbors(2) == {}
+        assert graph.degree(0) == 1
+
+    def test_self_loop_rejected(self):
+        graph = _simple_graph()
+        with pytest.raises(ValueError):
+            graph.add_edge(0, 0, 1.0)
+
+    def test_edge_requires_existing_nodes(self):
+        graph = _simple_graph()
+        with pytest.raises(KeyError):
+            graph.add_edge(0, 99, 0.5)
+
+    def test_connected_components(self):
+        graph = _simple_graph()
+        components = graph.connected_components()
+        assert {frozenset(c) for c in components} == {frozenset({0, 1}), frozenset({2})}
+
+    def test_subgraph(self):
+        graph = _simple_graph()
+        sub = graph.subgraph([0, 1])
+        assert sub.num_nodes == 2
+        assert sub.has_edge(0, 1)
+        sub_single = graph.subgraph([0])
+        assert sub_single.num_edges == 0
+
+    def test_edges_listing(self):
+        graph = _simple_graph()
+        assert graph.edges() == [(0, 1, 0.8)]
+
+
+class TestBuildPairGraph:
+    @pytest.fixture()
+    def representations(self, rng):
+        # Two tight groups of representations: indices 0-4 and 5-9.
+        group_a = rng.normal(size=(5, 8)) * 0.01 + np.arange(8)
+        group_b = rng.normal(size=(5, 8)) * 0.01 - np.arange(8)
+        return np.vstack([group_a, group_b])
+
+    def test_basic_construction(self, representations):
+        n = len(representations)
+        graph = build_pair_graph(
+            representations=representations,
+            node_ids=list(range(100, 100 + n)),
+            predictions=[1] * 5 + [0] * 5,
+            confidences=[0.9] * n,
+            match_probabilities=[0.9] * 5 + [0.1] * 5,
+            labeled_mask=[False] * n,
+            num_neighbors=2,
+        )
+        assert graph.num_nodes == n
+        assert graph.num_edges >= n  # every node has at least q=2 edges (shared)
+        assert graph.has_node(100)
+
+    def test_cluster_labels_limit_edges(self, representations):
+        n = len(representations)
+        clusters = [0] * 5 + [1] * 5
+        graph = build_pair_graph(
+            representations=representations,
+            node_ids=list(range(n)),
+            predictions=[1] * n,
+            confidences=[0.9] * n,
+            match_probabilities=[0.9] * n,
+            labeled_mask=[False] * n,
+            cluster_labels=clusters,
+            num_neighbors=4,
+        )
+        for u, v, _ in graph.edges():
+            assert clusters[u] == clusters[v]
+
+    def test_empty_input(self):
+        graph = build_pair_graph(
+            representations=np.zeros((0, 4)), node_ids=[], predictions=[],
+            confidences=[], match_probabilities=[], labeled_mask=[],
+        )
+        assert graph.num_nodes == 0
+
+    def test_length_validation(self, representations):
+        with pytest.raises(ValueError):
+            build_pair_graph(
+                representations=representations,
+                node_ids=list(range(len(representations))),
+                predictions=[1],
+                confidences=[0.9] * len(representations),
+                match_probabilities=[0.9] * len(representations),
+                labeled_mask=[False] * len(representations),
+            )
+
+    def test_parameter_validation(self, representations):
+        n = len(representations)
+        kwargs = dict(
+            representations=representations, node_ids=list(range(n)),
+            predictions=[1] * n, confidences=[0.9] * n,
+            match_probabilities=[0.9] * n, labeled_mask=[False] * n,
+        )
+        with pytest.raises(ValueError):
+            build_pair_graph(num_neighbors=0, **kwargs)
+        with pytest.raises(ValueError):
+            build_pair_graph(extra_edge_ratio=1.5, **kwargs)
+
+    def test_labeled_pairs_never_directly_connected(self, representations):
+        n = len(representations)
+        labeled = [True, True] + [False] * (n - 2)
+        graph = build_pair_graph(
+            representations=representations,
+            node_ids=list(range(n)),
+            predictions=[1] * n,
+            confidences=[1.0, 1.0] + [0.9] * (n - 2),
+            match_probabilities=[1.0, 1.0] + [0.9] * (n - 2),
+            labeled_mask=labeled,
+            num_neighbors=4,
+            extra_edge_ratio=0.5,
+        )
+        assert not graph.has_edge(0, 1)
+
+    def test_extra_edges_increase_connectivity(self, representations):
+        n = len(representations)
+        base_kwargs = dict(
+            representations=representations, node_ids=list(range(n)),
+            predictions=[1] * n, confidences=[0.9] * n,
+            match_probabilities=[0.9] * n, labeled_mask=[False] * n,
+            num_neighbors=1,
+        )
+        sparse = build_pair_graph(extra_edge_ratio=0.0, **base_kwargs)
+        dense = build_pair_graph(extra_edge_ratio=0.5, **base_kwargs)
+        assert dense.num_edges > sparse.num_edges

@@ -1,0 +1,83 @@
+"""Integration tests: the full battleship pipeline on a tiny benchmark.
+
+These tests exercise the complete stack the way the paper's experiments do:
+synthetic benchmark → featurizer → matcher → graphs → battleship selection →
+oracle → retraining, and compare selectors against each other.
+"""
+
+import numpy as np
+import pytest
+
+from repro.active.loop import ActiveLearningLoop
+from repro.active.selectors import BattleshipSelector, EntropySelector, RandomSelector
+from repro.baselines.full_training import train_full_matcher
+from repro.core import load_benchmark
+from repro.datasets.registry import PAPER_STATISTICS
+from repro.neural.featurizer import FeaturizerConfig
+from repro.neural.matcher import MatcherConfig
+
+_MATCHER = MatcherConfig(hidden_dims=(64, 32), epochs=6, batch_size=16,
+                         learning_rate=2e-3, random_state=2)
+_FEATURIZER = FeaturizerConfig(hash_dim=96)
+
+
+def _run(dataset, selector, seed=17, iterations=3, budget=20):
+    loop = ActiveLearningLoop(
+        dataset=dataset, selector=selector, matcher_config=_MATCHER,
+        featurizer_config=_FEATURIZER, iterations=iterations,
+        budget_per_iteration=budget, seed_size=budget, random_state=seed,
+    )
+    return loop.run()
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return load_benchmark("amazon_google", scale="tiny", random_state=23)
+
+
+@pytest.fixture(scope="module")
+def battleship_result(dataset):
+    return _run(dataset, BattleshipSelector(num_neighbors=8))
+
+
+@pytest.fixture(scope="module")
+def random_result(dataset):
+    return _run(dataset, RandomSelector())
+
+
+class TestEndToEnd:
+    def test_learning_curve_improves_over_seed_model(self, battleship_result):
+        curve = battleship_result.learning_curve()
+        assert curve.final_f1 >= curve.f1_scores[0] - 0.05
+
+    def test_battleship_uses_all_budget(self, battleship_result):
+        assert battleship_result.records[-1].num_labeled == 80
+
+    def test_battleship_finds_positives(self, battleship_result, dataset):
+        """The correspondence criterion should surface a disproportionate share
+        of the scarce match pairs (positive rate ~10%)."""
+        final = battleship_result.records[-1]
+        positive_fraction = final.num_labeled_positives / final.num_labeled
+        assert positive_fraction > 2 * PAPER_STATISTICS["amazon_google"].positive_rate
+
+    def test_battleship_at_least_as_good_as_random(self, battleship_result, random_result):
+        """The headline claim, at tiny scale with a generous tolerance."""
+        battleship_auc = battleship_result.learning_curve().auc()
+        random_auc = random_result.learning_curve().auc()
+        assert battleship_auc >= random_auc * 0.9
+
+    def test_low_resource_run_approaches_full_training(self, battleship_result, dataset):
+        full = train_full_matcher(dataset, _MATCHER, _FEATURIZER)
+        assert battleship_result.final_f1 >= 0.5 * full.f1
+
+    def test_dal_runs_on_second_benchmark(self):
+        other = load_benchmark("wdc_cameras", scale="tiny", random_state=5)
+        result = _run(other, EntropySelector(), iterations=2)
+        assert len(result.records) == 3
+        assert 0.0 <= result.final_f1 <= 1.0
+
+    def test_reproducibility_of_full_run(self, dataset):
+        first = _run(dataset, EntropySelector(), seed=99, iterations=1)
+        second = _run(dataset, EntropySelector(), seed=99, iterations=1)
+        assert [r.f1 for r in first.records] == [r.f1 for r in second.records]
+        assert [r.num_labeled for r in first.records] == [r.num_labeled for r in second.records]

@@ -1,0 +1,118 @@
+"""Tests for the loss functions and optimizers."""
+
+import numpy as np
+import pytest
+
+from repro.neural.layers import Linear
+from repro.neural.losses import binary_cross_entropy, binary_cross_entropy_with_logits
+from repro.neural.optimizers import SGD, Adam, AdamW
+
+
+class TestBinaryCrossEntropy:
+    def test_perfect_predictions_have_low_loss(self):
+        logits = np.array([10.0, -10.0])
+        targets = np.array([1.0, 0.0])
+        loss, _ = binary_cross_entropy_with_logits(logits, targets)
+        assert loss < 1e-3
+
+    def test_wrong_predictions_have_high_loss(self):
+        logits = np.array([-10.0, 10.0])
+        targets = np.array([1.0, 0.0])
+        loss, _ = binary_cross_entropy_with_logits(logits, targets)
+        assert loss > 5.0
+
+    def test_gradient_matches_numerical(self):
+        rng = np.random.default_rng(0)
+        logits = rng.normal(size=8)
+        targets = (rng.random(8) > 0.5).astype(float)
+        _, grad = binary_cross_entropy_with_logits(logits, targets)
+        epsilon = 1e-6
+        for i in range(len(logits)):
+            perturbed = logits.copy()
+            perturbed[i] += epsilon
+            loss_plus, _ = binary_cross_entropy_with_logits(perturbed, targets)
+            perturbed[i] -= 2 * epsilon
+            loss_minus, _ = binary_cross_entropy_with_logits(perturbed, targets)
+            numerical = (loss_plus - loss_minus) / (2 * epsilon)
+            assert grad[i] == pytest.approx(numerical, abs=1e-5)
+
+    def test_positive_weight_upweights_positive_errors(self):
+        logits = np.array([-2.0])
+        targets = np.array([1.0])
+        loss_plain, _ = binary_cross_entropy_with_logits(logits, targets, 1.0)
+        loss_weighted, _ = binary_cross_entropy_with_logits(logits, targets, 5.0)
+        assert loss_weighted == pytest.approx(5.0 * loss_plain)
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            binary_cross_entropy_with_logits(np.zeros(3), np.zeros(2))
+
+    def test_probability_version_bounded(self):
+        loss = binary_cross_entropy(np.array([0.0, 1.0]), np.array([0.0, 1.0]))
+        assert loss >= 0.0
+        assert np.isfinite(loss)
+
+
+def _quadratic_problem(optimizer_factory, steps=300):
+    """Minimize ||Wx - y||^2 through the Layer/Optimizer interface."""
+    rng = np.random.default_rng(0)
+    layer = Linear(3, 1, random_state=0)
+    x = rng.normal(size=(32, 3))
+    true_weights = np.array([[1.0], [-2.0], [0.5]])
+    y = x @ true_weights
+    optimizer = optimizer_factory([layer])
+    for _ in range(steps):
+        prediction = layer.forward(x, training=True)
+        error = prediction - y
+        layer.zero_gradients()
+        layer.backward(2.0 * error / len(x))
+        optimizer.step()
+    final_error = float(np.mean((layer.forward(x) - y) ** 2))
+    return final_error, layer
+
+
+class TestOptimizers:
+    def test_sgd_reduces_loss(self):
+        error, _ = _quadratic_problem(lambda layers: SGD(layers, learning_rate=0.05))
+        assert error < 0.01
+
+    def test_sgd_with_momentum_reduces_loss(self):
+        error, _ = _quadratic_problem(
+            lambda layers: SGD(layers, learning_rate=0.02, momentum=0.9))
+        assert error < 0.01
+
+    def test_adam_reduces_loss(self):
+        error, _ = _quadratic_problem(lambda layers: Adam(layers, learning_rate=0.05))
+        assert error < 0.01
+
+    def test_adamw_reduces_loss(self):
+        error, _ = _quadratic_problem(
+            lambda layers: AdamW(layers, learning_rate=0.05, weight_decay=0.001))
+        assert error < 0.05
+
+    def test_adamw_weight_decay_shrinks_weights(self):
+        _, decayed = _quadratic_problem(
+            lambda layers: AdamW(layers, learning_rate=0.05, weight_decay=0.2), steps=100)
+        _, plain = _quadratic_problem(
+            lambda layers: AdamW(layers, learning_rate=0.05, weight_decay=0.0), steps=100)
+        assert (np.linalg.norm(decayed.parameters["weight"])
+                < np.linalg.norm(plain.parameters["weight"]))
+
+    def test_invalid_hyperparameters(self):
+        layer = Linear(2, 1)
+        with pytest.raises(ValueError):
+            SGD([layer], learning_rate=0.0)
+        with pytest.raises(ValueError):
+            SGD([layer], momentum=1.5)
+        with pytest.raises(ValueError):
+            Adam([layer], beta1=1.0)
+        with pytest.raises(ValueError):
+            AdamW([layer], weight_decay=-0.1)
+
+    def test_zero_gradients_resets(self):
+        layer = Linear(2, 1, random_state=0)
+        optimizer = SGD([layer], learning_rate=0.1)
+        layer.forward(np.ones((1, 2)), training=True)
+        layer.backward(np.ones((1, 1)))
+        optimizer.zero_gradients()
+        assert np.allclose(layer.gradients["weight"], 0.0)

@@ -1,0 +1,68 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_run_defaults(self):
+        args = build_parser().parse_args(["run", "--dataset", "amazon_google"])
+        assert args.selector == "battleship"
+        assert args.scale == "tiny"
+        assert args.budget == 20
+
+    def test_unknown_dataset_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "--dataset", "not_a_benchmark"])
+
+    def test_unknown_selector_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "--dataset", "amazon_google",
+                                       "--selector", "oracle"])
+
+
+class TestCommands:
+    def test_datasets_command_lists_all_benchmarks(self, capsys):
+        exit_code = main(["datasets", "--scale", "tiny"])
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        for name in ("walmart_amazon", "amazon_google", "dblp_scholar"):
+            assert name in output
+
+    def test_run_command_prints_curve(self, capsys):
+        exit_code = main([
+            "run", "--dataset", "amazon_google", "--selector", "dal",
+            "--scale", "tiny", "--iterations", "1", "--budget", "12",
+            "--epochs", "3", "--seed", "3",
+        ])
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert "final F1" in output
+        assert "amazon_google" in output
+
+    def test_run_command_battleship_without_ws(self, capsys):
+        exit_code = main([
+            "run", "--dataset", "amazon_google", "--selector", "battleship",
+            "--scale", "tiny", "--iterations", "1", "--budget", "12",
+            "--epochs", "3", "--no-weak-supervision", "--seed", "4",
+        ])
+        assert exit_code == 0
+        assert "battleship" in capsys.readouterr().out
+
+    def test_full_command(self, capsys):
+        exit_code = main(["full", "--dataset", "amazon_google", "--scale", "tiny",
+                          "--epochs", "3", "--seed", "5"])
+        assert exit_code == 0
+        assert "Full D" in capsys.readouterr().out
+
+    def test_export_command(self, tmp_path, capsys):
+        exit_code = main(["export", "--dataset", "wdc_cameras", "--scale", "tiny",
+                          "--output", str(tmp_path / "out")])
+        assert exit_code == 0
+        assert (tmp_path / "out" / "tableA.csv").exists()
+        assert (tmp_path / "out" / "pairs.csv").exists()

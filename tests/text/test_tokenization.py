@@ -1,0 +1,95 @@
+"""Tests for repro.text.tokenization."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.text.tokenization import (
+    normalize,
+    qgram_set,
+    qgrams,
+    token_counts,
+    token_set,
+    tokenize,
+    vocabulary,
+    word_ngrams,
+)
+
+
+class TestNormalize:
+    def test_lowercases_and_collapses_whitespace(self):
+        assert normalize("  Sony   BRAVIA  TV ") == "sony bravia tv"
+
+    def test_empty(self):
+        assert normalize("") == ""
+
+
+class TestTokenize:
+    def test_alphanumeric_tokens(self):
+        assert tokenize("Canon EOS-5D, Mark IV!") == ["canon", "eos", "5d", "mark", "iv"]
+
+    def test_empty_string(self):
+        assert tokenize("") == []
+
+    def test_token_set_removes_duplicates(self):
+        assert token_set("the the cat") == {"the", "cat"}
+
+    def test_token_counts(self):
+        counts = token_counts("a b a")
+        assert counts["a"] == 2
+        assert counts["b"] == 1
+
+
+class TestQgrams:
+    def test_padded_qgrams(self):
+        grams = qgrams("ab", q=2)
+        assert grams == ["#a", "ab", "b#"]
+
+    def test_unpadded_qgrams(self):
+        assert qgrams("abcd", q=3, pad=False) == ["abc", "bcd"]
+
+    def test_short_string_returns_whole(self):
+        assert qgrams("ab", q=5, pad=False) == ["ab"]
+
+    def test_empty_string(self):
+        assert qgrams("", q=3) == []
+
+    def test_invalid_q(self):
+        with pytest.raises(ValueError):
+            qgrams("abc", q=0)
+
+    def test_qgram_set_is_set(self):
+        assert isinstance(qgram_set("abcabc", 2), set)
+
+    @settings(max_examples=40, deadline=None)
+    @given(text=st.text(alphabet="abcde ", max_size=30),
+           q=st.integers(min_value=1, max_value=5))
+    def test_property_gram_lengths(self, text, q):
+        for gram in qgrams(text, q=q, pad=False):
+            assert 1 <= len(gram) <= q
+
+
+class TestWordNgrams:
+    def test_bigrams(self):
+        assert word_ngrams("new york city", 2) == ["new_york", "york_city"]
+
+    def test_short_text(self):
+        assert word_ngrams("hello", 2) == ["hello"]
+
+    def test_empty(self):
+        assert word_ngrams("", 2) == []
+
+    def test_invalid_n(self):
+        with pytest.raises(ValueError):
+            word_ngrams("a b", 0)
+
+
+class TestVocabulary:
+    def test_min_count_filters(self):
+        vocab = vocabulary(["a b", "a c", "a"], min_count=2)
+        assert "a" in vocab
+        assert "b" not in vocab
+
+    def test_indices_are_dense(self):
+        vocab = vocabulary(["z y x"])
+        assert sorted(vocab.values()) == list(range(len(vocab)))

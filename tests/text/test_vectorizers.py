@@ -1,0 +1,134 @@
+"""Tests for repro.text.vectorizers."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import NotFittedError
+from repro.text.vectorizers import (
+    HashingVectorizer,
+    HashingVectorizerConfig,
+    TfidfVectorizer,
+    cosine_similarity_matrix,
+)
+
+
+class TestHashingVectorizer:
+    def test_output_shape(self):
+        vectorizer = HashingVectorizer(HashingVectorizerConfig(num_features=32))
+        matrix = vectorizer.transform(["sony tv", "lg monitor", ""])
+        assert matrix.shape == (3, 32)
+
+    def test_empty_input(self):
+        vectorizer = HashingVectorizer()
+        assert vectorizer.transform([]).shape == (0, vectorizer.num_features)
+
+    def test_deterministic(self):
+        vectorizer = HashingVectorizer()
+        a = vectorizer.transform_one("canon eos rebel")
+        b = vectorizer.transform_one("canon eos rebel")
+        assert np.array_equal(a, b)
+
+    def test_normalization(self):
+        vectorizer = HashingVectorizer(HashingVectorizerConfig(num_features=64))
+        vector = vectorizer.transform_one("some text with several tokens")
+        assert np.linalg.norm(vector) == pytest.approx(1.0)
+
+    def test_empty_text_is_zero_vector(self):
+        vectorizer = HashingVectorizer()
+        assert np.allclose(vectorizer.transform_one(""), 0.0)
+
+    def test_similar_texts_have_higher_cosine(self):
+        vectorizer = HashingVectorizer(HashingVectorizerConfig(num_features=256))
+        a = vectorizer.transform_one("canon eos rebel t7i dslr camera")
+        b = vectorizer.transform_one("canon eos rebel t7i camera kit")
+        c = vectorizer.transform_one("nike air max running shoe")
+        sim_ab = float(a @ b)
+        sim_ac = float(a @ c)
+        assert sim_ab > sim_ac
+
+    def test_invalid_num_features(self):
+        with pytest.raises(ValueError):
+            HashingVectorizer(HashingVectorizerConfig(num_features=0))
+
+    def test_different_seeds_hash_differently(self):
+        a = HashingVectorizer(HashingVectorizerConfig(num_features=64, seed=1))
+        b = HashingVectorizer(HashingVectorizerConfig(num_features=64, seed=2))
+        text = "canon eos"
+        assert not np.array_equal(a.transform_one(text), b.transform_one(text))
+
+    @settings(max_examples=25, deadline=None)
+    @given(text=st.text(alphabet="abcdef ", max_size=40))
+    def test_property_norm_at_most_one(self, text):
+        vectorizer = HashingVectorizer(HashingVectorizerConfig(num_features=64))
+        assert np.linalg.norm(vectorizer.transform_one(text)) <= 1.0 + 1e-9
+
+
+class TestTfidfVectorizer:
+    def test_requires_fit(self):
+        with pytest.raises(NotFittedError):
+            TfidfVectorizer().transform(["a"])
+        with pytest.raises(NotFittedError):
+            _ = TfidfVectorizer().vocabulary
+
+    def test_fit_transform_shape(self):
+        corpus = ["sony tv", "lg tv", "sony camera"]
+        matrix = TfidfVectorizer().fit_transform(corpus)
+        assert matrix.shape[0] == 3
+        assert matrix.shape[1] == 4  # sony, tv, lg, camera
+
+    def test_rows_are_normalized(self):
+        matrix = TfidfVectorizer().fit_transform(["a b c", "a a b"])
+        norms = np.linalg.norm(matrix, axis=1)
+        assert np.allclose(norms, 1.0)
+
+    def test_min_df_filters_rare_tokens(self):
+        vectorizer = TfidfVectorizer(min_df=2)
+        vectorizer.fit(["rare token here", "token again", "token thrice"])
+        assert "token" in vectorizer.vocabulary
+        assert "rare" not in vectorizer.vocabulary
+
+    def test_max_features_caps_vocabulary(self):
+        vectorizer = TfidfVectorizer(max_features=2)
+        vectorizer.fit(["a b c d", "a b c", "a b", "a"])
+        assert len(vectorizer.vocabulary) == 2
+        assert set(vectorizer.vocabulary) == {"a", "b"}
+
+    def test_idf_downweights_common_tokens(self):
+        vectorizer = TfidfVectorizer()
+        matrix = vectorizer.fit_transform(["common rare", "common other", "common third"])
+        common_column = vectorizer.vocabulary["common"]
+        rare_column = vectorizer.vocabulary["rare"]
+        assert matrix[0, rare_column] > matrix[0, common_column]
+
+    def test_unknown_tokens_ignored_at_transform(self):
+        vectorizer = TfidfVectorizer().fit(["a b"])
+        matrix = vectorizer.transform(["c d"])
+        assert np.allclose(matrix, 0.0)
+
+    def test_invalid_min_df(self):
+        with pytest.raises(ValueError):
+            TfidfVectorizer(min_df=0)
+
+
+class TestCosineSimilarityMatrix:
+    def test_self_similarity_is_one(self):
+        data = np.random.default_rng(0).normal(size=(5, 8))
+        sims = cosine_similarity_matrix(data)
+        assert np.allclose(np.diag(sims), 1.0)
+
+    def test_symmetric(self):
+        data = np.random.default_rng(1).normal(size=(6, 4))
+        sims = cosine_similarity_matrix(data)
+        assert np.allclose(sims, sims.T)
+
+    def test_two_matrix_shape(self):
+        a = np.random.default_rng(2).normal(size=(3, 4))
+        b = np.random.default_rng(3).normal(size=(5, 4))
+        assert cosine_similarity_matrix(a, b).shape == (3, 5)
+
+    def test_zero_rows_do_not_produce_nan(self):
+        data = np.zeros((2, 3))
+        sims = cosine_similarity_matrix(data)
+        assert not np.any(np.isnan(sims))
