@@ -79,6 +79,24 @@ def test_bench_graph_and_pagerank(benchmark, representation_cloud):
     assert len(scores) == n
 
 
+def test_bench_sparse_substrate_speedup_5k(substrate_scaling_5k):
+    """The CSR substrate must beat the seed dict path >= 5x on a 5k-node pool.
+
+    The session-scoped fixture times one full selection-substrate pass (graph
+    build + certainty + per-component PageRank) on both stacks; this is the
+    scalability claim behind Figure 6.  Both stacks must agree on the edge
+    set size.
+    """
+    measured = substrate_scaling_5k
+    assert measured["vectorized_edges"] == measured["reference_edges"]
+    print(f"\nsubstrate 5k: reference {measured['reference_seconds']:.3f}s, "
+          f"vectorized {measured['vectorized_seconds']:.3f}s, "
+          f"speedup {measured['speedup']:.1f}x")
+    assert measured["speedup"] >= 5.0, (
+        f"vectorized substrate only {measured['speedup']:.1f}x faster "
+        f"than the seed path")
+
+
 def test_bench_exact_knn(benchmark, representation_cloud):
     index = ExactNearestNeighbors().build(representation_cloud)
     indices, _ = benchmark(index.query, representation_cloud, 15, True)

@@ -223,6 +223,9 @@ class ActiveLearningLoop:
     # ------------------------------------------------------------------ #
     def run(self) -> ActiveLearningResult:
         """Execute the complete active-learning run."""
+        # A fresh run must not see cached artifacts from a previous run (the
+        # iteration numbers coincide, the data does not).
+        self.selector.reset()
         features = self._ensure_features()
         universe = np.asarray(self.dataset.train_indices, dtype=np.int64)
         seed_rng, loop_rng = spawn_rng(self._rng, 2)

@@ -104,6 +104,14 @@ class Selector(abc.ABC):
     def select(self, context: SelectionContext) -> list[int]:
         """Return up to ``context.budget`` pool *dataset indices* to label."""
 
+    def reset(self) -> None:
+        """Drop any per-run state (caches, artifacts).
+
+        :class:`~repro.active.loop.ActiveLearningLoop` calls this at the start
+        of every run so one selector instance can safely serve several runs or
+        datasets.  Stateless selectors need not override it.
+        """
+
     def select_weak(self, context: SelectionContext, budget: int) -> dict[int, int]:
         """Propose weak labels (dataset index → predicted label).
 

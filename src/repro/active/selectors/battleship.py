@@ -24,6 +24,7 @@ Every iteration the selector:
 
 from __future__ import annotations
 
+import weakref
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -32,9 +33,12 @@ from repro._rng import ensure_rng, spawn_rng
 from repro.active.budget import cap_budgets_by_size, distribute_budget, split_budget
 from repro.active.selectors.base import SelectionContext, Selector
 from repro.clustering.model_selection import cluster_representations
-from repro.graphs.entropy import certainty_score
-from repro.graphs.pagerank import pagerank
-from repro.graphs.pair_graph import PairGraph, build_pair_graph
+from repro.graphs.sparse import (
+    SparseAdjacency,
+    build_sparse_adjacency,
+    certainty_scores_batch,
+    pagerank_components,
+)
 
 
 @dataclass(frozen=True)
@@ -93,12 +97,12 @@ class BattleshipConfig:
 @dataclass
 class _IterationArtifacts:
     """Graphs and scores computed once per iteration and shared by
-    :meth:`BattleshipSelector.select` and :meth:`BattleshipSelector.select_weak`."""
+    :meth:`BattleshipSelector.select` and :meth:`BattleshipSelector.select_weak`.
+    Cached per context *object* (see :meth:`BattleshipSelector._prepare`)."""
 
-    iteration: int
-    heterogeneous_graph: PairGraph
-    positive_graph: PairGraph
-    negative_graph: PairGraph
+    heterogeneous_graph: SparseAdjacency
+    positive_graph: SparseAdjacency
+    negative_graph: SparseAdjacency
     certainty: dict[int, float] = field(default_factory=dict)
     positive_centrality: dict[int, float] = field(default_factory=dict)
     negative_centrality: dict[int, float] = field(default_factory=dict)
@@ -118,15 +122,22 @@ class BattleshipSelector(Selector):
             raise ValueError("Pass either a config object or keyword overrides, not both")
         self.config = config
         self._artifacts: _IterationArtifacts | None = None
+        self._artifacts_context: weakref.ref[SelectionContext] | None = None
+
+    def reset(self) -> None:
+        """Drop cached per-iteration artifacts (called at the start of a run)."""
+        self._artifacts = None
+        self._artifacts_context = None
 
     # ------------------------------------------------------------------ #
     # Graph construction
     # ------------------------------------------------------------------ #
     def _build_graph(self, context: SelectionContext, positions: np.ndarray,
-                     include_labels: bool, rng: np.random.Generator) -> PairGraph:
-        """Cluster the representations at ``positions`` and build their pair graph."""
+                     include_labels: bool, rng: np.random.Generator) -> SparseAdjacency:
+        """Cluster the representations at ``positions`` and build their CSR pair graph."""
         if len(positions) == 0:
-            return PairGraph()
+            return build_sparse_adjacency(
+                np.zeros((0, 1)), [], [], [], [], [])
         representations = context.representations[positions]
         predictions = context.predictions[positions].copy()
         probabilities = context.probabilities[positions].copy()
@@ -151,7 +162,7 @@ class BattleshipSelector(Selector):
         else:
             cluster_labels = np.zeros(len(positions), dtype=np.int64)
 
-        return build_pair_graph(
+        return build_sparse_adjacency(
             representations=representations,
             node_ids=context.universe[positions],
             predictions=predictions,
@@ -164,8 +175,16 @@ class BattleshipSelector(Selector):
         )
 
     def _prepare(self, context: SelectionContext) -> _IterationArtifacts:
-        """Compute (or reuse) the per-iteration graphs and scores."""
-        if self._artifacts is not None and self._artifacts.iteration == context.iteration:
+        """Compute (or reuse) the per-iteration graphs and scores.
+
+        The cache is keyed on the context *object* (not just its iteration
+        number): a selector instance reused across runs or datasets would
+        otherwise silently serve the previous run's graphs whenever the
+        iteration numbers coincide.
+        """
+        cached_context = (self._artifacts_context()
+                          if self._artifacts_context is not None else None)
+        if self._artifacts is not None and cached_context is context:
             return self._artifacts
 
         rng = ensure_rng(self.config.random_state + context.iteration)
@@ -191,27 +210,29 @@ class BattleshipSelector(Selector):
                                            rng=minus_rng)
 
         artifacts = _IterationArtifacts(
-            iteration=context.iteration,
             heterogeneous_graph=heterogeneous,
             positive_graph=positive_graph,
             negative_graph=negative_graph,
         )
-        # Certainty (Eq. 4) on the heterogeneous graph, pool nodes only.
+        # Certainty (Eq. 4) on the heterogeneous graph: one batched pass over
+        # all nodes (rows of the heterogeneous adjacency are context rows),
+        # exposed for pool nodes only.
+        certainty_values = certainty_scores_batch(heterogeneous, beta=self.config.beta)
         for position in pool:
-            node_id = int(context.universe[position])
-            artifacts.certainty[node_id] = certainty_score(
-                heterogeneous, node_id, beta=self.config.beta)
-        # Centrality (Eq. 5) per connected component of the prediction graphs.
-        artifacts.positive_components = positive_graph.connected_components()
-        artifacts.negative_components = negative_graph.connected_components()
-        for components, graph, target in (
-            (artifacts.positive_components, positive_graph, artifacts.positive_centrality),
-            (artifacts.negative_components, negative_graph, artifacts.negative_centrality),
-        ):
-            for component in components:
-                target.update(pagerank(graph, nodes=sorted(component),
-                                       damping=self.config.pagerank_damping))
+            artifacts.certainty[int(context.universe[position])] = float(
+                certainty_values[position])
+        # Centrality (Eq. 5) per connected component of the prediction graphs,
+        # by sparse power iteration over each component's edge arrays.
+        artifacts.positive_components = positive_graph.components()
+        artifacts.negative_components = negative_graph.components()
+        artifacts.positive_centrality.update(pagerank_components(
+            positive_graph, artifacts.positive_components,
+            damping=self.config.pagerank_damping))
+        artifacts.negative_centrality.update(pagerank_components(
+            negative_graph, artifacts.negative_components,
+            damping=self.config.pagerank_damping))
         self._artifacts = artifacts
+        self._artifacts_context = weakref.ref(context)
         return artifacts
 
     # ------------------------------------------------------------------ #

@@ -9,6 +9,7 @@ closest analogue to the embedding-based candidate generation used by DIAL.
 
 from __future__ import annotations
 
+import zlib
 from collections import defaultdict
 from typing import Iterable
 
@@ -31,17 +32,32 @@ class MinHashSignature:
             raise ValueError("num_permutations must be >= 1")
         rng = ensure_rng(random_state)
         self.num_permutations = num_permutations
-        self._a = rng.integers(1, _MERSENNE_PRIME, size=num_permutations, dtype=np.int64)
+        # The multiplier is capped at 2^30 so that a * x with x < 2^32 stays
+        # below 2^62 (a * x + b < 2^62 + 2^61 fits int64) — drawing a from
+        # [1, p) as textbook universal hashing suggests would silently
+        # overflow int64 in the outer product and wrap to mathematically
+        # wrong (even negative) values.  b keeps the full [0, p) range.
+        self._a = rng.integers(1, 1 << 30, size=num_permutations, dtype=np.int64)
         self._b = rng.integers(0, _MERSENNE_PRIME, size=num_permutations, dtype=np.int64)
 
     def signature(self, features: Iterable[str]) -> np.ndarray:
-        """MinHash signature of a feature set (vector of ``num_permutations`` ints)."""
-        hashed = np.array([hash(feature) & _MAX_HASH for feature in features], dtype=np.int64)
+        """MinHash signature of a feature set (vector of ``num_permutations`` ints).
+
+        Features are hashed with ``zlib.crc32`` over their UTF-8 bytes — a
+        stable 32-bit hash — rather than the builtin ``hash()``, whose
+        per-process salt (``PYTHONHASHSEED``) would make LSH candidate sets
+        differ between runs.
+        """
+        hashed = np.fromiter((zlib.crc32(feature.encode("utf-8")) & _MAX_HASH
+                              for feature in features), dtype=np.int64)
         if hashed.size == 0:
             return np.full(self.num_permutations, _MAX_HASH, dtype=np.int64)
-        # (a * x + b) mod p mod 2^32 for every permutation / feature combination.
+        # (a * x + b) mod p, truncated to the low 32 bits, for every
+        # permutation / feature combination.  Masking with & keeps the full
+        # [0, 2^32) range; the previous % (2^32 - 1) biased the distribution
+        # and aliased 0 with 2^32 - 1.
         products = (np.outer(self._a, hashed) + self._b[:, None]) % _MERSENNE_PRIME
-        return (products % _MAX_HASH).min(axis=1)
+        return (products & _MAX_HASH).min(axis=1)
 
     @staticmethod
     def estimated_jaccard(signature_a: np.ndarray, signature_b: np.ndarray) -> float:

@@ -62,7 +62,7 @@ def select_num_clusters(points: np.ndarray, min_fraction: float = 0.05,
                         max_fraction: float = 0.15,
                         random_state: RandomState = None) -> ClusterSelection:
     """Select ``k`` with Kneedle over the SSE curve, silhouette as fallback."""
-    points = np.asarray(points, dtype=np.float64)
+    points = np.ascontiguousarray(points, dtype=np.float64)
     rng = ensure_rng(random_state)
     candidates = candidate_cluster_counts(len(points), min_fraction, max_fraction)
     if len(candidates) == 1:
@@ -104,18 +104,38 @@ def select_num_clusters(points: np.ndarray, min_fraction: float = 0.05,
 
 def cluster_representations(points: np.ndarray, min_fraction: float = 0.05,
                             max_fraction: float = 0.15,
-                            random_state: RandomState = None
+                            random_state: RandomState = None,
+                            num_clusters: int | None = None,
                             ) -> tuple[KMeansResult, ClusterSelection]:
     """Select ``k`` and run constrained K-Means, as the battleship pipeline does.
 
-    Falls back to plain K-Means when the size constraints are infeasible for
-    the selected ``k`` (possible for very small pools in the last iterations).
+    ``points`` is converted to one contiguous float64 block here and passed
+    through unchanged to the sweep and the final fit, so callers handing over
+    a representation matrix (e.g. the battleship selector, which reuses the
+    same block for the vectorized graph builder) pay for at most one copy.
+    ``num_clusters`` skips the Kneedle/silhouette sweep and clusters with the
+    given ``k`` directly.  Falls back to plain K-Means when the size
+    constraints are infeasible for the selected ``k`` (possible for very small
+    pools in the last iterations).
     """
-    points = np.asarray(points, dtype=np.float64)
+    points = np.ascontiguousarray(points, dtype=np.float64)
     rng = ensure_rng(random_state)
     selection_rng, final_rng = spawn_rng(rng, 2)
 
+    if num_clusters is not None:
+        if num_clusters < 1:
+            raise ConfigurationError("num_clusters must be >= 1")
+        if num_clusters > max(len(points), 1):
+            raise ConfigurationError(
+                f"num_clusters={num_clusters} exceeds the {len(points)} points")
+
     if len(points) < 4:
+        if num_clusters is not None and num_clusters > 1:
+            # Tiny pools can still honor an explicit k.
+            model = KMeans(num_clusters, random_state=final_rng)
+            return model.fit(points), ClusterSelection(
+                num_clusters=num_clusters, method="fixed",
+                candidates=[num_clusters])
         # Degenerate pools: a single cluster containing everything.
         labels = np.zeros(len(points), dtype=np.int64)
         centroid = points.mean(axis=0, keepdims=True) if len(points) else np.zeros((1, 1))
@@ -123,7 +143,12 @@ def cluster_representations(points: np.ndarray, min_fraction: float = 0.05,
                               num_iterations=0, converged=True)
         return result, ClusterSelection(num_clusters=1, method="degenerate")
 
-    selection = select_num_clusters(points, min_fraction, max_fraction, selection_rng)
+    if num_clusters is not None:
+        selection = ClusterSelection(num_clusters=num_clusters, method="fixed",
+                                     candidates=[num_clusters])
+    else:
+        selection = select_num_clusters(points, min_fraction, max_fraction,
+                                        selection_rng)
     constraints = SizeConstraints.from_fractions(len(points), min_fraction, max_fraction)
     if constraints.feasible(len(points), selection.num_clusters):
         model = ConstrainedKMeans(selection.num_clusters, constraints,

@@ -1,25 +1,59 @@
-"""Graph substrate: pair graphs, connected components, PageRank, certainty."""
+"""Graph substrate: pair graphs, connected components, PageRank, certainty.
 
-from repro.graphs.components import UnionFind, connected_components
+Two representations coexist: the dict-based :class:`PairGraph` (convenient
+for tests and small graphs) and the vectorized CSR
+:class:`~repro.graphs.sparse.SparseAdjacency` that the battleship hot path
+runs on.
+"""
+
+from repro.graphs.components import (
+    UnionFind,
+    connected_component_labels,
+    connected_components,
+)
 from repro.graphs.entropy import (
     certainty_score,
     certainty_scores,
+    combined_certainty,
     conditional_entropy,
     spatial_confidence,
 )
-from repro.graphs.pagerank import pagerank, pagerank_per_component
-from repro.graphs.pair_graph import PairGraph, PairNode, build_pair_graph
+from repro.graphs.pagerank import edge_pagerank, pagerank, pagerank_per_component
+from repro.graphs.pair_graph import (
+    PairGraph,
+    PairNode,
+    build_pair_graph,
+    build_pair_graph_reference,
+)
+from repro.graphs.sparse import (
+    SparseAdjacency,
+    build_sparse_adjacency,
+    certainty_scores_batch,
+    compute_cluster_edges,
+    pagerank_components,
+    spatial_confidence_batch,
+)
 
 __all__ = [
     "PairGraph",
     "PairNode",
+    "SparseAdjacency",
     "UnionFind",
     "build_pair_graph",
+    "build_pair_graph_reference",
+    "build_sparse_adjacency",
     "certainty_score",
     "certainty_scores",
+    "certainty_scores_batch",
+    "combined_certainty",
+    "compute_cluster_edges",
     "conditional_entropy",
+    "connected_component_labels",
     "connected_components",
+    "edge_pagerank",
     "pagerank",
+    "pagerank_components",
     "pagerank_per_component",
     "spatial_confidence",
+    "spatial_confidence_batch",
 ]

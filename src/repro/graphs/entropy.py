@@ -50,6 +50,24 @@ def spatial_confidence(graph: PairGraph, node_id: int) -> float:
     return numerator / denominator
 
 
+def combined_certainty(confidences: float | np.ndarray,
+                       spatial_confidences: float | np.ndarray,
+                       beta: float = 0.5) -> np.ndarray:
+    """Eq. 4 vectorized: combine local and spatial confidence into certainty.
+
+    ``confidences`` and ``spatial_confidences`` are aligned scalars or arrays;
+    the result is ``beta * H(confidence) + (1 - beta) * H(spatial)``.  This is
+    the shared kernel behind :func:`certainty_score` (one node of a dict
+    graph) and the batched CSR pass in :mod:`repro.graphs.sparse`.
+    """
+    if not 0.0 <= beta <= 1.0:
+        raise ValueError(f"beta must be in [0, 1], got {beta}")
+    local_entropy = conditional_entropy(np.asarray(confidences, dtype=np.float64))
+    spatial_entropy = conditional_entropy(
+        np.asarray(spatial_confidences, dtype=np.float64))
+    return beta * local_entropy + (1.0 - beta) * spatial_entropy
+
+
 def certainty_score(graph: PairGraph, node_id: int, beta: float = 0.5) -> float:
     """Combined certainty score of a node (Eq. 4).
 
@@ -58,12 +76,9 @@ def certainty_score(graph: PairGraph, node_id: int, beta: float = 0.5) -> float:
     0`` uses only the spatial signal.  Higher scores mean *more uncertain*
     nodes (entropy), which the selector prefers.
     """
-    if not 0.0 <= beta <= 1.0:
-        raise ValueError(f"beta must be in [0, 1], got {beta}")
     node = graph.node(node_id)
-    local_entropy = conditional_entropy(node.confidence)
-    spatial_entropy = conditional_entropy(spatial_confidence(graph, node_id))
-    return float(beta * local_entropy + (1.0 - beta) * spatial_entropy)
+    return float(combined_certainty(node.confidence,
+                                    spatial_confidence(graph, node_id), beta))
 
 
 def certainty_scores(graph: PairGraph, node_ids: list[int] | None = None,

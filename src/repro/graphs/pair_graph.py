@@ -10,7 +10,11 @@ cosine similarity of the pair representations.
 Section 3.3.2: within every cluster, each node is connected to its ``q``
 nearest neighbours, then the top share of the remaining intra-cluster node
 pairs (ranked by similarity) is added, and two already-labeled nodes are never
-connected directly.
+connected directly.  The edges are computed by the vectorized CSR builder
+(:func:`repro.graphs.sparse.build_sparse_adjacency`); the original
+node-at-a-time construction survives as :func:`build_pair_graph_reference`,
+the executable specification the equivalence tests and micro-benchmarks
+compare against.
 """
 
 from __future__ import annotations
@@ -146,6 +150,51 @@ class PairGraph:
         return graph
 
 
+def coerce_builder_inputs(
+    node_ids: Sequence[int],
+    predictions: Sequence[int],
+    confidences: Sequence[float],
+    match_probabilities: Sequence[float],
+    labeled_mask: Sequence[bool],
+    cluster_labels: Sequence[int] | None,
+    num_neighbors: int,
+    extra_edge_ratio: float,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Shared coercion and validation for both pair-graph builders.
+
+    Returns ``(node_ids, predictions, confidences, match_probabilities,
+    labeled_mask, cluster_labels)`` as typed arrays.  Empty input returns
+    empty arrays without validating the parameters (builders return an empty
+    graph in that case).
+    """
+    node_ids = np.asarray(list(node_ids), dtype=np.int64)
+    n = len(node_ids)
+    if n == 0:
+        return (node_ids, np.empty(0, dtype=np.int64), np.empty(0),
+                np.empty(0), np.empty(0, dtype=bool), np.empty(0, dtype=np.int64))
+    predictions = np.asarray(predictions, dtype=np.int64)
+    confidences = np.asarray(confidences, dtype=np.float64)
+    match_probabilities = np.asarray(match_probabilities, dtype=np.float64)
+    labeled_mask = np.asarray(labeled_mask, dtype=bool)
+    for name, array in (("predictions", predictions), ("confidences", confidences),
+                        ("match_probabilities", match_probabilities),
+                        ("labeled_mask", labeled_mask)):
+        if len(array) != n:
+            raise ValueError(f"{name} must have length {n}, got {len(array)}")
+    if cluster_labels is None:
+        cluster_labels = np.zeros(n, dtype=np.int64)
+    else:
+        cluster_labels = np.asarray(cluster_labels, dtype=np.int64)
+        if len(cluster_labels) != n:
+            raise ValueError(f"cluster_labels must have length {n}")
+    if num_neighbors < 1:
+        raise ValueError("num_neighbors must be >= 1")
+    if not 0.0 <= extra_edge_ratio <= 1.0:
+        raise ValueError("extra_edge_ratio must be in [0, 1]")
+    return (node_ids, predictions, confidences, match_probabilities,
+            labeled_mask, cluster_labels)
+
+
 def build_pair_graph(
     representations: np.ndarray,
     node_ids: Sequence[int],
@@ -182,29 +231,48 @@ def build_pair_graph(
         Optional pre-computed cosine similarity matrix aligned with
         ``node_ids`` (used by tests that specify similarities explicitly).
     """
-    node_ids = list(node_ids)
+    from repro.graphs.sparse import build_sparse_adjacency
+
+    return build_sparse_adjacency(
+        representations=representations,
+        node_ids=node_ids,
+        predictions=predictions,
+        confidences=confidences,
+        match_probabilities=match_probabilities,
+        labeled_mask=labeled_mask,
+        cluster_labels=cluster_labels,
+        num_neighbors=num_neighbors,
+        extra_edge_ratio=extra_edge_ratio,
+        similarity_matrix=similarity_matrix,
+    ).to_pair_graph()
+
+
+def build_pair_graph_reference(
+    representations: np.ndarray,
+    node_ids: Sequence[int],
+    predictions: Sequence[int],
+    confidences: Sequence[float],
+    match_probabilities: Sequence[float],
+    labeled_mask: Sequence[bool],
+    cluster_labels: Sequence[int] | None = None,
+    num_neighbors: int = 15,
+    extra_edge_ratio: float = 0.03,
+    similarity_matrix: np.ndarray | None = None,
+) -> PairGraph:
+    """The original node-at-a-time builder (O(n^2) Python loops per cluster).
+
+    Kept as the executable specification of Section 3.3.2: equivalence tests
+    check the vectorized builder against it on random inputs, and the Figure 6
+    micro-benchmarks time the two against each other.  Takes the same
+    parameters as :func:`build_pair_graph`.
+    """
+    (node_ids, predictions, confidences, match_probabilities,
+     labeled_mask, cluster_labels) = coerce_builder_inputs(
+        node_ids, predictions, confidences, match_probabilities,
+        labeled_mask, cluster_labels, num_neighbors, extra_edge_ratio)
     n = len(node_ids)
     if n == 0:
         return PairGraph()
-    predictions = np.asarray(predictions, dtype=np.int64)
-    confidences = np.asarray(confidences, dtype=np.float64)
-    match_probabilities = np.asarray(match_probabilities, dtype=np.float64)
-    labeled_mask = np.asarray(labeled_mask, dtype=bool)
-    for name, array in (("predictions", predictions), ("confidences", confidences),
-                        ("match_probabilities", match_probabilities),
-                        ("labeled_mask", labeled_mask)):
-        if len(array) != n:
-            raise ValueError(f"{name} must have length {n}, got {len(array)}")
-    if cluster_labels is None:
-        cluster_labels = np.zeros(n, dtype=np.int64)
-    else:
-        cluster_labels = np.asarray(cluster_labels, dtype=np.int64)
-        if len(cluster_labels) != n:
-            raise ValueError(f"cluster_labels must have length {n}")
-    if num_neighbors < 1:
-        raise ValueError("num_neighbors must be >= 1")
-    if not 0.0 <= extra_edge_ratio <= 1.0:
-        raise ValueError("extra_edge_ratio must be in [0, 1]")
 
     graph = PairGraph()
     for position, node_id in enumerate(node_ids):

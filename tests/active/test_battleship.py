@@ -108,6 +108,27 @@ class TestBattleshipSelection:
         selector.select_weak(context, 10)
         assert selector._artifacts is first
 
+    def test_artifacts_not_reused_across_contexts_with_same_iteration(self):
+        """Regression: the cache used to be keyed only on ``context.iteration``,
+        so a selector reused across two runs (or datasets) silently served the
+        first run's graphs whenever the iteration numbers coincided."""
+        selector = BattleshipSelector(num_neighbors=5, random_state=9)
+        first_selection = selector.select(make_context(seed=5, iteration=0))
+        first_artifacts = selector._artifacts
+        second_selection = selector.select(make_context(seed=6, iteration=0))
+        assert selector._artifacts is not first_artifacts
+        fresh = BattleshipSelector(num_neighbors=5, random_state=9)
+        assert second_selection == fresh.select(make_context(seed=6, iteration=0))
+        assert first_selection != second_selection
+
+    def test_reset_drops_cached_artifacts(self):
+        selector = BattleshipSelector(num_neighbors=5)
+        selector.select(make_context())
+        assert selector._artifacts is not None
+        selector.reset()
+        assert selector._artifacts is None
+        assert selector._artifacts_context is None
+
     def test_alpha_changes_selection(self):
         context_a = make_context(seed=2)
         context_b = make_context(seed=2)

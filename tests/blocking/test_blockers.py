@@ -1,5 +1,10 @@
 """Tests for the blocking substrate."""
 
+import os
+import subprocess
+import sys
+from pathlib import Path
+
 import pytest
 
 from repro.blocking.evaluation import evaluate_blocking
@@ -118,6 +123,48 @@ class TestMinHash:
             MinHashSignature.estimated_jaccard(
                 minhash.signature({"a"}),
                 MinHashSignature(num_permutations=8, random_state=0).signature({"a"}))
+
+    def test_permutation_hash_matches_bigint_arithmetic(self):
+        """Regression: coefficients drawn from [0, 2^61) overflowed int64 in
+        the outer product, silently computing something other than
+        (a*x + b) mod p.  The signature must match exact big-int arithmetic."""
+        import zlib
+
+        minhash = MinHashSignature(num_permutations=8, random_state=0)
+        x = zlib.crc32("alpha".encode("utf-8")) & ((1 << 32) - 1)
+        prime = (1 << 61) - 1
+        expected = [((int(a) * x + int(b)) % prime) & ((1 << 32) - 1)
+                    for a, b in zip(minhash._a, minhash._b)]
+        assert minhash.signature(["alpha"]).tolist() == expected
+
+    def test_signature_values_stay_in_32bit_range(self):
+        minhash = MinHashSignature(num_permutations=64, random_state=3)
+        signature = minhash.signature({"alpha", "beta", "gamma"})
+        assert signature.min() >= 0
+        assert signature.max() <= (1 << 32) - 1
+
+    def test_signature_stable_across_hash_randomization(self):
+        """Regression: builtin hash() is salted per process (PYTHONHASHSEED),
+        which made LSH candidate sets differ between runs; the crc32-based
+        feature hash must produce identical signatures regardless of the
+        salt."""
+        repo_root = Path(__file__).resolve().parents[2]
+        code = (
+            "from repro.blocking.minhash_lsh import MinHashSignature; "
+            "sig = MinHashSignature(16, random_state=0)"
+            ".signature(['alpha', 'beta', 'gamma']); "
+            "print(','.join(map(str, sig.tolist())))"
+        )
+        outputs = []
+        for hash_seed in ("1", "2"):
+            env = dict(os.environ)
+            env["PYTHONHASHSEED"] = hash_seed
+            env["PYTHONPATH"] = (str(repo_root / "src")
+                                 + os.pathsep + env.get("PYTHONPATH", ""))
+            result = subprocess.run([sys.executable, "-c", code], env=env,
+                                    capture_output=True, text=True, check=True)
+            outputs.append(result.stdout.strip())
+        assert outputs[0] == outputs[1]
 
 
 class TestMinHashLSHBlocker:

@@ -3,7 +3,12 @@
 import numpy as np
 import pytest
 
-from repro.graphs.pair_graph import PairGraph, PairNode, build_pair_graph
+from repro.graphs.pair_graph import (
+    PairGraph,
+    PairNode,
+    build_pair_graph,
+    build_pair_graph_reference,
+)
 
 
 def _simple_graph() -> PairGraph:
@@ -156,3 +161,49 @@ class TestBuildPairGraph:
         sparse = build_pair_graph(extra_edge_ratio=0.0, **base_kwargs)
         dense = build_pair_graph(extra_edge_ratio=0.5, **base_kwargs)
         assert dense.num_edges > sparse.num_edges
+
+    def test_zero_extra_edge_budget_adds_no_edges(self, representations):
+        # A tiny ratio whose floored budget is zero must behave exactly like
+        # ratio zero.
+        n = len(representations)
+        base_kwargs = dict(
+            representations=representations, node_ids=list(range(n)),
+            predictions=[1] * n, confidences=[0.9] * n,
+            match_probabilities=[0.9] * n, labeled_mask=[False] * n,
+            num_neighbors=2,
+        )
+        none = build_pair_graph(extra_edge_ratio=0.0, **base_kwargs)
+        tiny = build_pair_graph(extra_edge_ratio=1e-6, **base_kwargs)
+        assert sorted(tiny.edges()) == sorted(none.edges())
+
+    def test_q_larger_than_cluster_connects_everything_allowed(self, representations):
+        n = len(representations)
+        graph = build_pair_graph(
+            representations=representations, node_ids=list(range(n)),
+            predictions=[1] * n, confidences=[0.9] * n,
+            match_probabilities=[0.9] * n,
+            labeled_mask=[True, True] + [False] * (n - 2),
+            num_neighbors=n + 5, extra_edge_ratio=0.0,
+        )
+        assert graph.num_edges == n * (n - 1) // 2 - 1
+        assert not graph.has_edge(0, 1)
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_vectorized_builder_matches_reference(self, seed):
+        generator = np.random.default_rng(seed)
+        n = 40
+        kwargs = dict(
+            representations=generator.normal(size=(n, 10)),
+            node_ids=list(range(n)),
+            predictions=generator.integers(0, 2, size=n),
+            confidences=generator.uniform(0.5, 1.0, size=n),
+            match_probabilities=generator.uniform(0.0, 1.0, size=n),
+            labeled_mask=generator.uniform(size=n) < 0.2,
+            cluster_labels=generator.integers(0, 2, size=n),
+            num_neighbors=3,
+            extra_edge_ratio=0.05,
+        )
+        vectorized = build_pair_graph(**kwargs)
+        reference = build_pair_graph_reference(**kwargs)
+        assert (sorted((u, v, round(w, 12)) for u, v, w in vectorized.edges())
+                == sorted((u, v, round(w, 12)) for u, v, w in reference.edges()))
