@@ -45,6 +45,31 @@ class IterationRecord:
     def f1(self) -> float:
         return self.test_metrics.f1
 
+    def to_dict(self) -> dict[str, object]:
+        """Lossless JSON-ready representation (artifact-store format)."""
+        return {
+            "iteration": self.iteration,
+            "num_labeled": self.num_labeled,
+            "num_weak": self.num_weak,
+            "num_labeled_positives": self.num_labeled_positives,
+            "test_metrics": self.test_metrics.to_dict(),
+            "train_seconds": self.train_seconds,
+            "selection_seconds": self.selection_seconds,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict[str, object]) -> "IterationRecord":
+        """Inverse of :meth:`to_dict`."""
+        return cls(
+            iteration=int(payload["iteration"]),
+            num_labeled=int(payload["num_labeled"]),
+            num_weak=int(payload["num_weak"]),
+            num_labeled_positives=int(payload["num_labeled_positives"]),
+            test_metrics=MatchingMetrics.from_dict(payload["test_metrics"]),
+            train_seconds=float(payload["train_seconds"]),
+            selection_seconds=float(payload["selection_seconds"]),
+        )
+
 
 @dataclass
 class ActiveLearningResult:
@@ -69,6 +94,24 @@ class ActiveLearningResult:
         """Selection wall-clock seconds per iteration (Figure 6)."""
         return [record.selection_seconds for record in self.records
                 if record.selection_seconds > 0.0]
+
+    def to_dict(self) -> dict[str, object]:
+        """Lossless JSON-ready representation (artifact-store format)."""
+        return {
+            "dataset_name": self.dataset_name,
+            "selector_name": self.selector_name,
+            "records": [record.to_dict() for record in self.records],
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict[str, object]) -> "ActiveLearningResult":
+        """Inverse of :meth:`to_dict`."""
+        return cls(
+            dataset_name=str(payload["dataset_name"]),
+            selector_name=str(payload["selector_name"]),
+            records=[IterationRecord.from_dict(record)
+                     for record in payload["records"]],
+        )
 
     def as_rows(self) -> list[dict[str, object]]:
         """Flat rows for report tables."""

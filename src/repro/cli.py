@@ -7,12 +7,15 @@ Exposes the most common workflows without writing Python::
         --iterations 3 --budget 20 --scale tiny    # one active-learning campaign
     python -m repro full --dataset amazon_google --scale tiny
     python -m repro export --dataset wdc_cameras --output ./wdc_cameras_csv
+    python -m repro experiments --scale tiny --jobs 4 --store ./artifacts \
+        --figure 5 --table 5                       # (parallel, resumable) harness
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+from dataclasses import replace
 from typing import Sequence
 
 from repro.active.loop import ActiveLearningLoop
@@ -28,6 +31,14 @@ from repro.config import available_scales
 from repro.data.io import export_dataset
 from repro.datasets.registry import available_benchmarks, load_benchmark
 from repro.evaluation.reporting import format_table
+from repro.experiments.configs import ExperimentSettings, default_settings
+from repro.experiments.engine import (
+    ACTIVE_LEARNING_METHODS,
+    ExperimentEngine,
+    ParallelExecutor,
+    SerialExecutor,
+)
+from repro.experiments.store import ArtifactStore
 from repro.neural.featurizer import FeaturizerConfig
 from repro.neural.matcher import MatcherConfig
 
@@ -38,14 +49,26 @@ _SELECTORS = {
     "random": lambda args: RandomSelector(),
 }
 
+#: Figures/tables the ``experiments`` subcommand can (re)build.
+_EXPERIMENT_FIGURES = (5, 6, 7, 8, 9, 10)
+_EXPERIMENT_TABLES = (3, 4, 5, 6)
 
-def _matcher_config(args: argparse.Namespace) -> MatcherConfig:
-    return MatcherConfig(hidden_dims=(96, 48), epochs=args.epochs, batch_size=16,
-                         learning_rate=2e-3, random_state=args.seed)
+
+def _matcher_config(args: argparse.Namespace,
+                    settings: ExperimentSettings) -> MatcherConfig:
+    """The harness matcher configuration, with CLI overrides applied.
+
+    Deriving from :class:`ExperimentSettings` keeps one-off CLI campaigns
+    comparable with harness runs — same architecture, same optimizer knobs.
+    """
+    config = settings.matcher_config
+    if args.epochs is not None:
+        config = replace(config, epochs=args.epochs)
+    return config
 
 
-def _featurizer_config() -> FeaturizerConfig:
-    return FeaturizerConfig(hash_dim=128)
+def _featurizer_config(settings: ExperimentSettings) -> FeaturizerConfig:
+    return settings.featurizer_config
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -69,14 +92,16 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--seed-size", type=int, default=None)
     run.add_argument("--alpha", type=float, default=0.5)
     run.add_argument("--beta", type=float, default=0.5)
-    run.add_argument("--epochs", type=int, default=8)
+    run.add_argument("--epochs", type=int, default=None,
+                     help="Matcher training epochs (default: the harness setting)")
     run.add_argument("--no-weak-supervision", action="store_true")
     run.add_argument("--seed", type=int, default=7)
 
     full = subparsers.add_parser("full", help="Train the Full D reference model")
     full.add_argument("--dataset", required=True, choices=available_benchmarks())
     full.add_argument("--scale", default="tiny", choices=available_scales())
-    full.add_argument("--epochs", type=int, default=8)
+    full.add_argument("--epochs", type=int, default=None,
+                      help="Matcher training epochs (default: the harness setting)")
     full.add_argument("--seed", type=int, default=7)
 
     export = subparsers.add_parser("export", help="Export a benchmark as CSV files")
@@ -84,6 +109,28 @@ def build_parser() -> argparse.ArgumentParser:
     export.add_argument("--scale", default="tiny", choices=available_scales())
     export.add_argument("--output", required=True)
     export.add_argument("--seed", type=int, default=7)
+
+    experiments = subparsers.add_parser(
+        "experiments",
+        help="Run the paper's figure/table sweeps through the job engine")
+    experiments.add_argument("--scale", default="tiny", choices=available_scales())
+    experiments.add_argument("--jobs", type=int, default=1,
+                             help="Worker processes (1 = serial execution)")
+    experiments.add_argument("--store", default=None, metavar="DIR",
+                             help="Artifact directory; completed runs are "
+                                  "persisted there and skipped on re-execution")
+    experiments.add_argument("--figure", type=int, action="append", default=None,
+                             choices=_EXPERIMENT_FIGURES, metavar="N",
+                             help=f"Figure to build {_EXPERIMENT_FIGURES} (repeatable)")
+    experiments.add_argument("--table", type=int, action="append", default=None,
+                             choices=_EXPERIMENT_TABLES, metavar="N",
+                             help=f"Table to build {_EXPERIMENT_TABLES} (repeatable)")
+    experiments.add_argument("--datasets", nargs="+", default=None,
+                             choices=available_benchmarks(),
+                             help="Restrict the sweep to these benchmarks")
+    experiments.add_argument("--methods", nargs="+", default=None,
+                             choices=ACTIVE_LEARNING_METHODS,
+                             help="Restrict learning-curve sweeps to these methods")
 
     return parser
 
@@ -98,13 +145,14 @@ def _command_datasets(args: argparse.Namespace) -> int:
 
 
 def _command_run(args: argparse.Namespace) -> int:
+    settings = default_settings(args.scale)
     dataset = load_benchmark(args.dataset, scale=args.scale, random_state=args.seed)
     selector: Selector = _SELECTORS[args.selector](args)
     loop = ActiveLearningLoop(
         dataset=dataset,
         selector=selector,
-        matcher_config=_matcher_config(args),
-        featurizer_config=_featurizer_config(),
+        matcher_config=_matcher_config(args, settings),
+        featurizer_config=_featurizer_config(settings),
         iterations=args.iterations,
         budget_per_iteration=args.budget,
         seed_size=args.seed_size if args.seed_size is not None else args.budget,
@@ -120,8 +168,10 @@ def _command_run(args: argparse.Namespace) -> int:
 
 
 def _command_full(args: argparse.Namespace) -> int:
+    settings = default_settings(args.scale)
     dataset = load_benchmark(args.dataset, scale=args.scale, random_state=args.seed)
-    result = train_full_matcher(dataset, _matcher_config(args), _featurizer_config())
+    result = train_full_matcher(dataset, _matcher_config(args, settings),
+                                _featurizer_config(settings))
     print(f"Full D on {args.dataset} (scale={args.scale}): "
           f"{result.num_training_labels} training labels, "
           f"F1={result.f1 * 100:.2f}%  precision={result.test_metrics.precision * 100:.2f}%  "
@@ -137,11 +187,102 @@ def _command_export(args: argparse.Namespace) -> int:
     return 0
 
 
+def _curve_rows(curves) -> list[dict[str, object]]:
+    """Flatten dataset → method → LearningCurve into printable rows."""
+    rows: list[dict[str, object]] = []
+    for dataset_name, methods in curves.items():
+        for method, curve in methods.items():
+            for labeled, f1 in zip(curve.labeled_counts, curve.f1_scores):
+                rows.append({"dataset": dataset_name, "method": method,
+                             "labeled": labeled, "f1": round(f1 * 100, 2)})
+    return rows
+
+
+def _command_experiments(args: argparse.Namespace) -> int:
+    from repro.experiments import figures, tables
+
+    settings = default_settings(
+        args.scale, datasets=tuple(args.datasets) if args.datasets else None)
+    # ParallelExecutor validates the job count, so --jobs 0 fails loudly
+    # instead of silently degrading to serial execution.
+    executor = (SerialExecutor() if args.jobs == 1
+                else ParallelExecutor(jobs=args.jobs))
+    store = ArtifactStore(args.store) if args.store else None
+    engine = ExperimentEngine(settings, executor=executor, store=store)
+
+    requested_figures = tuple(dict.fromkeys(args.figure or ()))
+    requested_tables = tuple(dict.fromkeys(args.table or ()))
+    if not requested_figures and not requested_tables:
+        requested_figures, requested_tables = (5,), (4, 5)
+    methods = tuple(args.methods) if args.methods else ACTIVE_LEARNING_METHODS
+    # Figures 7-10 default to the paper's ablation datasets; an explicit
+    # --datasets restriction overrides that too.
+    ablation_kwargs = ({"dataset_names": tuple(args.datasets)}
+                       if args.datasets else {})
+
+    # The learning-curve grid feeds Figure 5 and Tables 4/5; run it once.
+    curves = None
+    if 5 in requested_figures or {4, 5} & set(requested_tables):
+        curves = figures.figure5_learning_curves(settings, methods=methods,
+                                                 engine=engine)
+
+    for number in requested_figures:
+        if number == 5:
+            print(format_table(_curve_rows(curves),
+                               title="Figure 5 — learning curves"))
+        elif number == 6:
+            print(format_table(figures.figure6_runtime(settings, engine=engine),
+                               title="Figure 6 — selection runtime"))
+        elif number == 7:
+            rows = figures.figure7_rows(
+                figures.figure7_beta_ablation(settings, engine=engine,
+                                              **ablation_kwargs))
+            print(format_table(rows, title="Figure 7 — β ablation"))
+        elif number == 8:
+            print(format_table(
+                figures.figure8_correspondence(settings, engine=engine,
+                                               **ablation_kwargs),
+                title="Figure 8 — correspondence effect"))
+        elif number == 9:
+            print(format_table(
+                figures.figure9_weak_supervision(settings, engine=engine,
+                                                 **ablation_kwargs),
+                title="Figure 9 — weak supervision"))
+        elif number == 10:
+            print(format_table(
+                figures.figure10_ws_method(settings, engine=engine,
+                                           **ablation_kwargs),
+                title="Figure 10 — weak-supervision method"))
+
+    for number in requested_tables:
+        if number == 3:
+            print(format_table(tables.table3_dataset_statistics(settings),
+                               title="Table 3 — dataset statistics"))
+        elif number == 4:
+            print(format_table(
+                tables.table4_f1_by_budget(curves, settings,
+                                           include_reference_models=False),
+                title="Table 4 — F1 at labeled-budget checkpoints"))
+        elif number == 5:
+            print(format_table(tables.table5_auc(curves),
+                               title="Table 5 — learning-curve AUC"))
+        elif number == 6:
+            print(format_table(tables.table6_alpha_ablation(settings, engine=engine),
+                               title="Table 6 — α ablation"))
+
+    report = engine.total_report
+    store_note = f"  store={args.store}" if args.store else ""
+    print(f"\nengine: {report.executed} runs executed, "
+          f"{report.cached} loaded from store{store_note}")
+    return 0
+
+
 _COMMANDS = {
     "datasets": _command_datasets,
     "run": _command_run,
     "full": _command_full,
     "export": _command_export,
+    "experiments": _command_experiments,
 }
 
 

@@ -42,12 +42,12 @@ class LearningCurve:
         """F1 at the largest recorded count not exceeding ``labeled_count``.
 
         Used to reproduce Table 4's "F1 with 500 / 900 labeled samples" rows.
+        Budgets below the first measurement yield 0.0: no model has been
+        trained at that point, so there is no F1 to report.
         """
-        if not self.labeled_counts:
-            return 0.0
         eligible = [f1 for count, f1 in zip(self.labeled_counts, self.f1_scores)
                     if count <= labeled_count]
-        return eligible[-1] if eligible else self.f1_scores[0]
+        return eligible[-1] if eligible else 0.0
 
     def auc(self, percentage: bool = True) -> float:
         """Trapezoidal area under the curve, normalized by the x-axis span.

@@ -83,6 +83,25 @@ class MatchingMetrics:
             "num_examples": self.num_examples,
         }
 
+    def to_dict(self) -> dict[str, float | int]:
+        """Lossless JSON-ready representation (unlike the rounded ``as_row``)."""
+        return {
+            "precision": self.precision,
+            "recall": self.recall,
+            "f1": self.f1,
+            "num_examples": self.num_examples,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict[str, float | int]) -> "MatchingMetrics":
+        """Inverse of :meth:`to_dict`."""
+        return cls(
+            precision=float(payload["precision"]),
+            recall=float(payload["recall"]),
+            f1=float(payload["f1"]),
+            num_examples=int(payload["num_examples"]),
+        )
+
 
 def matching_metrics(y_true: np.ndarray, y_pred: np.ndarray) -> MatchingMetrics:
     """Precision / recall / F1 for ``y_pred`` against ``y_true``."""

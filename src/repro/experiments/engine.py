@@ -1,0 +1,371 @@
+"""Job-based experiment execution engine.
+
+Every figure and table of the paper aggregates an embarrassingly parallel
+grid of independent active-learning runs (dataset × method × seed × α).  This
+module turns that grid into explicit jobs:
+
+* :class:`RunSpec` — a frozen, hashable description of one run, including a
+  fingerprint of the :class:`~repro.experiments.configs.ExperimentSettings`
+  it is valid under, so results can be stored and looked up by content.
+* :class:`SerialExecutor` / :class:`ParallelExecutor` — pluggable execution
+  backends; the parallel one fans jobs out over a
+  :class:`~concurrent.futures.ProcessPoolExecutor` whose workers each keep
+  their own dataset cache (one benchmark load per worker, not per job).
+* :class:`ExperimentEngine` — ties an executor to an optional
+  :class:`~repro.experiments.store.ArtifactStore`: completed runs are loaded
+  from the store instead of re-executed (resume), fresh results are persisted.
+
+The engine also hosts the execution primitives (`method_factory`,
+`get_dataset`, `run_single`) that the figure/table layer builds on, keeping
+the dependency order loop → engine/store → runner/figures/tables → CLI.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from typing import Callable, Iterable, Iterator, Mapping, Sequence
+
+from repro.active.loop import ActiveLearningLoop, ActiveLearningResult
+from repro.active.selectors import (
+    BattleshipConfig,
+    BattleshipSelector,
+    CommitteeSelector,
+    EntropySelector,
+    RandomSelector,
+    Selector,
+)
+from repro.active.weak_supervision import WeakSupervisionMode, resolve_mode
+from repro.data.dataset import EMDataset
+from repro.datasets.registry import load_benchmark
+from repro.exceptions import ConfigurationError
+from repro.experiments.configs import ExperimentSettings
+from repro.experiments.store import ArtifactStore
+
+#: Selector factory signature: ``(alpha, beta) -> Selector``.
+SelectorFactory = Callable[[float, float], Selector]
+
+_METHOD_FACTORIES: dict[str, SelectorFactory] = {
+    "battleship": lambda alpha, beta: BattleshipSelector(
+        BattleshipConfig(alpha=alpha, beta=beta)),
+    "dal": lambda alpha, beta: EntropySelector(),
+    "dial": lambda alpha, beta: CommitteeSelector(),
+    "random": lambda alpha, beta: RandomSelector(),
+}
+
+#: The active-learning methods compared throughout Section 5.
+ACTIVE_LEARNING_METHODS: tuple[str, ...] = tuple(_METHOD_FACTORIES)
+
+_DATASET_CACHE: dict[tuple[str, str, int], EMDataset] = {}
+
+
+def method_factory(name: str) -> SelectorFactory:
+    """Look up the selector factory for ``name``."""
+    try:
+        return _METHOD_FACTORIES[name]
+    except KeyError:
+        raise ConfigurationError(
+            f"Unknown method {name!r}; expected one of {sorted(_METHOD_FACTORIES)}"
+        ) from None
+
+
+def get_dataset(name: str, settings: ExperimentSettings) -> EMDataset:
+    """Load (and cache) the benchmark ``name`` at the settings' scale."""
+    key = (name, settings.scale.name, settings.base_random_seed)
+    if key not in _DATASET_CACHE:
+        _DATASET_CACHE[key] = load_benchmark(name, scale=settings.scale,
+                                             random_state=settings.base_random_seed)
+    return _DATASET_CACHE[key]
+
+
+def clear_dataset_cache() -> None:
+    """Drop all cached benchmarks (used by tests)."""
+    _DATASET_CACHE.clear()
+
+
+# --------------------------------------------------------------------------- #
+# Run specifications and fingerprints
+# --------------------------------------------------------------------------- #
+def _canonical_json(payload: object) -> str:
+    """Deterministic JSON used for fingerprinting."""
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
+
+def settings_fingerprint(settings: ExperimentSettings) -> str:
+    """Stable hash of every settings field that influences a single run.
+
+    Fields that only shape the *grid* (``datasets``, ``num_seeds``,
+    ``alphas``) are excluded: the grid is spelled out by the RunSpecs
+    themselves, and a stored run stays valid when the surrounding sweep
+    changes.
+    """
+    payload = {
+        "scale": dataclasses.asdict(settings.scale),
+        "iterations": settings.iterations,
+        "budget_per_iteration": settings.budget_per_iteration,
+        "seed_size": settings.seed_size,
+        "matcher_config": dataclasses.asdict(settings.matcher_config),
+        "featurizer_config": dataclasses.asdict(settings.featurizer_config),
+        "base_random_seed": settings.base_random_seed,
+    }
+    return hashlib.sha256(_canonical_json(payload).encode("utf-8")).hexdigest()[:16]
+
+
+@dataclass(frozen=True)
+class RunSpec:
+    """Declarative description of one active-learning run.
+
+    A RunSpec is hashable and usable as a dictionary key; its
+    :meth:`fingerprint` keys the artifact store.  ``settings_hash`` binds the
+    spec to the :class:`ExperimentSettings` it was enumerated under, so runs
+    executed with different iteration counts or matcher hyper-parameters
+    never collide in the store.
+    """
+
+    dataset: str
+    method: str
+    seed: int
+    alpha: float
+    beta: float
+    weak_supervision: str
+    settings_hash: str
+
+    @classmethod
+    def create(
+        cls,
+        dataset: str,
+        method: str,
+        seed: int,
+        alpha: float,
+        beta: float,
+        weak_supervision: WeakSupervisionMode | str,
+        settings: ExperimentSettings,
+    ) -> "RunSpec":
+        """Build a spec, normalizing the mode and fingerprinting ``settings``."""
+        return cls(
+            dataset=dataset,
+            method=method,
+            seed=int(seed),
+            alpha=float(alpha),
+            beta=float(beta),
+            weak_supervision=resolve_mode(weak_supervision).value,
+            settings_hash=settings_fingerprint(settings),
+        )
+
+    def to_dict(self) -> dict[str, object]:
+        """JSON-ready representation (embedded in stored artifacts)."""
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, object]) -> "RunSpec":
+        """Inverse of :meth:`to_dict`."""
+        return cls(
+            dataset=str(payload["dataset"]),
+            method=str(payload["method"]),
+            seed=int(payload["seed"]),
+            alpha=float(payload["alpha"]),
+            beta=float(payload["beta"]),
+            weak_supervision=str(payload["weak_supervision"]),
+            settings_hash=str(payload["settings_hash"]),
+        )
+
+    def fingerprint(self) -> str:
+        """Content hash identifying this run in the artifact store."""
+        return hashlib.sha256(
+            _canonical_json(self.to_dict()).encode("utf-8")).hexdigest()[:24]
+
+
+def run_single(
+    dataset: EMDataset,
+    selector: Selector,
+    settings: ExperimentSettings,
+    random_state: int,
+    weak_supervision: WeakSupervisionMode | str = WeakSupervisionMode.SELECTOR,
+) -> ActiveLearningResult:
+    """One active-learning run with the settings' iteration/budget counts."""
+    loop = ActiveLearningLoop(
+        dataset=dataset,
+        selector=selector,
+        matcher_config=settings.matcher_config,
+        featurizer_config=settings.featurizer_config,
+        iterations=settings.iterations,
+        budget_per_iteration=settings.budget_per_iteration,
+        seed_size=settings.seed_size,
+        weak_supervision=weak_supervision,
+        random_state=random_state,
+    )
+    return loop.run()
+
+
+def execute_spec(spec: RunSpec, settings: ExperimentSettings) -> ActiveLearningResult:
+    """Execute one :class:`RunSpec` under ``settings``."""
+    selector = method_factory(spec.method)(spec.alpha, spec.beta)
+    dataset = get_dataset(spec.dataset, settings)
+    return run_single(dataset, selector, settings, spec.seed, spec.weak_supervision)
+
+
+# --------------------------------------------------------------------------- #
+# Executors
+# --------------------------------------------------------------------------- #
+class SerialExecutor:
+    """Execute jobs one after another in the calling process.
+
+    ``execute`` yields results as they complete so the engine can persist
+    each run before the next one starts.
+    """
+
+    def execute(self, specs: Sequence[RunSpec],
+                settings: ExperimentSettings) -> Iterator[ActiveLearningResult]:
+        for spec in specs:
+            yield execute_spec(spec, settings)
+
+
+# Worker-process state for ParallelExecutor, set by the pool initializer.
+_WORKER_SETTINGS: ExperimentSettings | None = None
+
+
+def _init_worker(settings: ExperimentSettings) -> None:
+    """Pool initializer: hand each worker the settings its jobs run under.
+
+    Workers keep their own dataset cache (``get_dataset`` fills it on the
+    first job touching a benchmark), so loading is amortized per worker, not
+    per job, without eagerly loading benchmarks a worker never sees.
+    """
+    global _WORKER_SETTINGS
+    _WORKER_SETTINGS = settings
+
+
+def _execute_in_worker(spec: RunSpec) -> ActiveLearningResult:
+    """Top-level (picklable) job body run inside a pool worker."""
+    assert _WORKER_SETTINGS is not None, "worker initializer did not run"
+    return execute_spec(spec, _WORKER_SETTINGS)
+
+
+class ParallelExecutor:
+    """Fan jobs out over a :class:`ProcessPoolExecutor`.
+
+    Results are yielded in submission order, so a parallel sweep aggregates
+    (and persists) in exactly the same order as a serial one — curves are
+    bit-identical.
+    """
+
+    def __init__(self, jobs: int = 2) -> None:
+        if jobs < 1:
+            raise ConfigurationError(f"jobs must be >= 1, got {jobs}")
+        self.jobs = jobs
+
+    def execute(self, specs: Sequence[RunSpec],
+                settings: ExperimentSettings) -> Iterator[ActiveLearningResult]:
+        if not specs:
+            return
+        if self.jobs == 1 or len(specs) == 1:
+            yield from SerialExecutor().execute(specs, settings)
+            return
+        with ProcessPoolExecutor(
+            max_workers=min(self.jobs, len(specs)),
+            initializer=_init_worker,
+            initargs=(settings,),
+        ) as pool:
+            yield from pool.map(_execute_in_worker, specs)
+
+
+# --------------------------------------------------------------------------- #
+# Engine
+# --------------------------------------------------------------------------- #
+@dataclass
+class EngineReport:
+    """How the jobs of one :meth:`ExperimentEngine.run` call were satisfied."""
+
+    executed: int = 0
+    cached: int = 0
+
+    @property
+    def total(self) -> int:
+        return self.executed + self.cached
+
+    def merge(self, other: "EngineReport") -> None:
+        self.executed += other.executed
+        self.cached += other.cached
+
+
+class ExperimentEngine:
+    """Resolve RunSpecs to results through an executor and an artifact store.
+
+    Parameters
+    ----------
+    settings:
+        The experiment settings every spec must have been enumerated under
+        (mismatching specs are rejected — they would silently describe a
+        different run).
+    executor:
+        Execution backend; defaults to :class:`SerialExecutor`.
+    store:
+        Optional :class:`ArtifactStore`.  Specs with a stored result are
+        *not* re-executed; each fresh result is persisted as soon as its run
+        finishes, so an interrupted sweep resumes from the completed runs.
+
+    Results are additionally cached in memory for the engine's lifetime, so
+    figure/table builders sharing RunSpecs within one invocation (e.g.
+    Figure 5 and Table 6 both need battleship at α = 0.5) execute them once
+    even without a store.  ``last_report`` describes the most recent
+    :meth:`run` call; ``total_report`` accumulates over the lifetime.
+    """
+
+    def __init__(
+        self,
+        settings: ExperimentSettings,
+        executor: SerialExecutor | ParallelExecutor | None = None,
+        store: ArtifactStore | None = None,
+    ) -> None:
+        self.settings = settings
+        self.executor = executor or SerialExecutor()
+        self.store = store
+        self.last_report = EngineReport()
+        self.total_report = EngineReport()
+        self._memory: dict[RunSpec, ActiveLearningResult] = {}
+
+    def _lookup(self, spec: RunSpec) -> ActiveLearningResult | None:
+        cached = self._memory.get(spec)
+        if cached is None and self.store is not None:
+            cached = self.store.get(spec)
+            if cached is not None:
+                self._memory[spec] = cached
+        return cached
+
+    def run(self, specs: Iterable[RunSpec]) -> dict[RunSpec, ActiveLearningResult]:
+        """Execute (or load) every spec; returns results keyed by spec."""
+        ordered = list(dict.fromkeys(specs))
+        expected_hash = settings_fingerprint(self.settings)
+        for spec in ordered:
+            if spec.settings_hash != expected_hash:
+                raise ConfigurationError(
+                    f"RunSpec {spec.dataset}/{spec.method} was enumerated under "
+                    f"settings {spec.settings_hash}, but this engine runs "
+                    f"{expected_hash}; rebuild the specs from the engine's settings")
+
+        results: dict[RunSpec, ActiveLearningResult] = {}
+        pending: list[RunSpec] = []
+        for spec in ordered:
+            cached = self._lookup(spec)
+            if cached is not None:
+                results[spec] = cached
+            else:
+                pending.append(spec)
+
+        executed = 0
+        try:
+            for spec, result in zip(pending,
+                                    self.executor.execute(pending, self.settings)):
+                if self.store is not None:
+                    self.store.put(spec, result)
+                self._memory[spec] = result
+                results[spec] = result
+                executed += 1
+        finally:
+            self.last_report = EngineReport(executed=executed,
+                                            cached=len(ordered) - len(pending))
+            self.total_report.merge(self.last_report)
+        return results

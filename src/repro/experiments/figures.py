@@ -14,8 +14,9 @@ import numpy as np
 from repro.active.weak_supervision import WeakSupervisionMode
 from repro.ann.exact import ExactNearestNeighbors
 from repro.baselines.full_training import train_full_matcher
-from repro.evaluation.curves import LearningCurve
+from repro.evaluation.curves import LearningCurve, average_curves
 from repro.experiments.configs import ABLATION_DATASETS, ExperimentSettings, default_settings
+from repro.experiments.engine import ExperimentEngine
 from repro.experiments.paper_values import (
     FIGURE7_BETA_F1,
     FIGURE8_CORRESPONDENCE,
@@ -24,12 +25,22 @@ from repro.experiments.paper_values import (
 )
 from repro.experiments.runner import (
     ACTIVE_LEARNING_METHODS,
+    enumerate_run_specs,
     get_dataset,
     run_learning_curves,
     run_method,
+    run_spec_grid,
 )
 from repro.neural.featurizer import PairFeaturizer
 from repro.visualization.tsne import TSNE, TSNEConfig
+
+
+def _resolve_settings(settings: ExperimentSettings | None,
+                      engine: ExperimentEngine | None = None) -> ExperimentSettings:
+    """Explicit settings win; otherwise reuse the engine's, else defaults."""
+    if settings is not None:
+        return settings
+    return engine.settings if engine is not None else default_settings()
 
 
 # --------------------------------------------------------------------------- #
@@ -128,12 +139,14 @@ def figure5_learning_curves(
     settings: ExperimentSettings | None = None,
     dataset_names: tuple[str, ...] | None = None,
     methods: tuple[str, ...] | None = None,
+    engine: ExperimentEngine | None = None,
 ) -> dict[str, dict[str, LearningCurve]]:
     """Reproduce Figure 5: F1 versus labeled samples per dataset and method."""
-    settings = settings or default_settings()
+    settings = _resolve_settings(settings, engine)
     dataset_names = dataset_names or settings.datasets
     methods = methods or ACTIVE_LEARNING_METHODS
-    return run_learning_curves(tuple(dataset_names), tuple(methods), settings)
+    return run_learning_curves(tuple(dataset_names), tuple(methods), settings,
+                               engine=engine)
 
 
 # --------------------------------------------------------------------------- #
@@ -142,13 +155,14 @@ def figure5_learning_curves(
 def figure6_runtime(
     settings: ExperimentSettings | None = None,
     dataset_names: tuple[str, ...] | None = None,
+    engine: ExperimentEngine | None = None,
 ) -> list[dict[str, object]]:
     """Reproduce Figure 6: battleship runtime (seconds) per iteration."""
-    settings = settings or default_settings()
+    settings = _resolve_settings(settings, engine)
     dataset_names = dataset_names or settings.datasets
     rows: list[dict[str, object]] = []
     for dataset_name in dataset_names:
-        run = run_method(dataset_name, "battleship", settings)
+        run = run_method(dataset_name, "battleship", settings, engine=engine)
         runtimes = run.selection_runtimes()
         for iteration, seconds in enumerate(runtimes, start=1):
             rows.append({
@@ -166,16 +180,25 @@ def figure7_beta_ablation(
     settings: ExperimentSettings | None = None,
     dataset_names: tuple[str, ...] = ABLATION_DATASETS,
     betas: tuple[float, ...] = (0.0, 0.5, 1.0),
+    engine: ExperimentEngine | None = None,
 ) -> dict[str, dict[float, LearningCurve]]:
     """Reproduce Figure 7: battleship with β ∈ {0, 0.5, 1} and α = 0.5."""
-    settings = settings or default_settings()
-    curves: dict[str, dict[float, LearningCurve]] = {}
-    for dataset_name in dataset_names:
-        curves[dataset_name] = {}
-        for beta in betas:
-            run = run_method(dataset_name, "battleship", settings, beta=beta, alphas=(0.5,))
-            curves[dataset_name][beta] = run.curve()
-    return curves
+    settings = _resolve_settings(settings, engine)
+    groups = {
+        (dataset_name, beta): enumerate_run_specs(
+            dataset_name, "battleship", settings, beta=beta, alphas=(0.5,))
+        for dataset_name in dataset_names
+        for beta in betas
+    }
+    resolved = run_spec_grid(groups, settings, engine)
+    return {
+        dataset_name: {
+            beta: average_curves([result.learning_curve()
+                                  for result in resolved[(dataset_name, beta)]])
+            for beta in betas
+        }
+        for dataset_name in dataset_names
+    }
 
 
 def figure7_rows(curves: dict[str, dict[float, LearningCurve]]) -> list[dict[str, object]]:
@@ -198,6 +221,7 @@ def figure7_rows(curves: dict[str, dict[float, LearningCurve]]) -> list[dict[str
 def figure8_correspondence(
     settings: ExperimentSettings | None = None,
     dataset_names: tuple[str, ...] = ABLATION_DATASETS,
+    engine: ExperimentEngine | None = None,
 ) -> list[dict[str, object]]:
     """Reproduce Figure 8: DAL's criterion confined to connected components.
 
@@ -205,12 +229,22 @@ def figure8_correspondence(
     conditional entropy — exactly DAL's criterion — so any remaining difference
     is due to the graph separation and budget distribution (correspondence).
     """
-    settings = settings or default_settings()
+    settings = _resolve_settings(settings, engine)
+    groups = {}
+    for dataset_name in dataset_names:
+        groups[(dataset_name, "battleship")] = enumerate_run_specs(
+            dataset_name, "battleship", settings, beta=1.0, alphas=(1.0,))
+        groups[(dataset_name, "dal")] = enumerate_run_specs(
+            dataset_name, "dal", settings)
+    resolved = run_spec_grid(groups, settings, engine)
+
+    def _curve(key):
+        return average_curves([result.learning_curve() for result in resolved[key]])
+
     rows: list[dict[str, object]] = []
     for dataset_name in dataset_names:
-        battleship = run_method(dataset_name, "battleship", settings, beta=1.0,
-                                alphas=(1.0,)).curve()
-        dal = run_method(dataset_name, "dal", settings).curve()
+        battleship = _curve((dataset_name, "battleship"))
+        dal = _curve((dataset_name, "dal"))
         paper = FIGURE8_CORRESPONDENCE.get(dataset_name, {})
         rows.append({
             "dataset": dataset_name,
@@ -230,18 +264,29 @@ def figure8_correspondence(
 def figure9_weak_supervision(
     settings: ExperimentSettings | None = None,
     dataset_names: tuple[str, ...] = ABLATION_DATASETS,
+    engine: ExperimentEngine | None = None,
 ) -> list[dict[str, object]]:
     """Reproduce Figure 9: battleship and DAL with and without weak supervision."""
-    settings = settings or default_settings()
+    settings = _resolve_settings(settings, engine)
+    modes = (WeakSupervisionMode.SELECTOR, WeakSupervisionMode.OFF)
+    groups = {
+        (dataset_name, method, mode): enumerate_run_specs(
+            dataset_name, method, settings, weak_supervision=mode)
+        for dataset_name in dataset_names
+        for method in ("battleship", "dal")
+        for mode in modes
+    }
+    resolved = run_spec_grid(groups, settings, engine)
+
+    def _curve(key):
+        return average_curves([result.learning_curve() for result in resolved[key]])
+
     rows: list[dict[str, object]] = []
     for dataset_name in dataset_names:
-        results = {}
-        for method in ("battleship", "dal"):
-            with_ws = run_method(dataset_name, method, settings,
-                                 weak_supervision=WeakSupervisionMode.SELECTOR).curve()
-            without_ws = run_method(dataset_name, method, settings,
-                                    weak_supervision=WeakSupervisionMode.OFF).curve()
-            results[method] = (with_ws, without_ws)
+        results = {
+            method: tuple(_curve((dataset_name, method, mode)) for mode in modes)
+            for method in ("battleship", "dal")
+        }
         paper = FIGURE9_WEAK_SUPERVISION.get(dataset_name, {})
         rows.append({
             "dataset": dataset_name,
@@ -263,15 +308,27 @@ def figure9_weak_supervision(
 def figure10_ws_method(
     settings: ExperimentSettings | None = None,
     dataset_names: tuple[str, ...] = ABLATION_DATASETS,
+    engine: ExperimentEngine | None = None,
 ) -> list[dict[str, object]]:
     """Reproduce Figure 10: battleship with its own WS vs. DAL-style WS."""
-    settings = settings or default_settings()
+    settings = _resolve_settings(settings, engine)
+    modes = (WeakSupervisionMode.SELECTOR, WeakSupervisionMode.ENTROPY)
+    groups = {
+        (dataset_name, mode): enumerate_run_specs(
+            dataset_name, "battleship", settings, alphas=(0.5,),
+            weak_supervision=mode)
+        for dataset_name in dataset_names
+        for mode in modes
+    }
+    resolved = run_spec_grid(groups, settings, engine)
+
+    def _curve(key):
+        return average_curves([result.learning_curve() for result in resolved[key]])
+
     rows: list[dict[str, object]] = []
     for dataset_name in dataset_names:
-        spatial = run_method(dataset_name, "battleship", settings, alphas=(0.5,),
-                             weak_supervision=WeakSupervisionMode.SELECTOR).curve()
-        entropy = run_method(dataset_name, "battleship", settings, alphas=(0.5,),
-                             weak_supervision=WeakSupervisionMode.ENTROPY).curve()
+        spatial = _curve((dataset_name, WeakSupervisionMode.SELECTOR))
+        entropy = _curve((dataset_name, WeakSupervisionMode.ENTROPY))
         paper = FIGURE10_WS_METHOD_AUC.get(dataset_name, {})
         rows.append({
             "dataset": dataset_name,

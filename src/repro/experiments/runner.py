@@ -1,71 +1,47 @@
 """Shared experiment runner: one function per repeated pattern in the harness.
 
-Every figure/table of the paper boils down to: build a benchmark, run an
-active-learning loop for one or more selector configurations, and aggregate
-the learning curves.  The runner centralizes dataset caching (per process) and
-the seed/α averaging conventions so the figure and table builders stay short.
+Every figure/table of the paper boils down to: enumerate a grid of
+:class:`~repro.experiments.engine.RunSpec` jobs, resolve them through an
+:class:`~repro.experiments.engine.ExperimentEngine` (serially, in parallel,
+or straight from a warm artifact store), and aggregate the learning curves.
+The execution primitives live in :mod:`repro.experiments.engine`; this module
+keeps the seed/α averaging conventions so the figure and table builders stay
+short, and re-exports the primitives under their historical names.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable
 
-from repro.active.loop import ActiveLearningLoop, ActiveLearningResult
-from repro.active.selectors import (
-    BattleshipConfig,
-    BattleshipSelector,
-    CommitteeSelector,
-    EntropySelector,
-    RandomSelector,
-    Selector,
-)
+from repro.active.loop import ActiveLearningResult
 from repro.active.weak_supervision import WeakSupervisionMode
-from repro.data.dataset import EMDataset
-from repro.datasets.registry import load_benchmark
 from repro.evaluation.curves import LearningCurve, average_curves
 from repro.exceptions import ConfigurationError
 from repro.experiments.configs import ExperimentSettings
+from repro.experiments.engine import (
+    ACTIVE_LEARNING_METHODS,
+    ExperimentEngine,
+    RunSpec,
+    SelectorFactory,
+    clear_dataset_cache,
+    get_dataset,
+    method_factory,
+    run_single,
+)
 
-#: Selector factory signature: ``(alpha, beta) -> Selector``.
-SelectorFactory = Callable[[float, float], Selector]
-
-_METHOD_FACTORIES: dict[str, SelectorFactory] = {
-    "battleship": lambda alpha, beta: BattleshipSelector(
-        BattleshipConfig(alpha=alpha, beta=beta)),
-    "dal": lambda alpha, beta: EntropySelector(),
-    "dial": lambda alpha, beta: CommitteeSelector(),
-    "random": lambda alpha, beta: RandomSelector(),
-}
-
-#: The active-learning methods compared throughout Section 5.
-ACTIVE_LEARNING_METHODS: tuple[str, ...] = tuple(_METHOD_FACTORIES)
-
-_DATASET_CACHE: dict[tuple[str, str, int], EMDataset] = {}
-
-
-def method_factory(name: str) -> SelectorFactory:
-    """Look up the selector factory for ``name``."""
-    try:
-        return _METHOD_FACTORIES[name]
-    except KeyError:
-        raise ConfigurationError(
-            f"Unknown method {name!r}; expected one of {sorted(_METHOD_FACTORIES)}"
-        ) from None
-
-
-def get_dataset(name: str, settings: ExperimentSettings) -> EMDataset:
-    """Load (and cache) the benchmark ``name`` at the settings' scale."""
-    key = (name, settings.scale.name, settings.base_random_seed)
-    if key not in _DATASET_CACHE:
-        _DATASET_CACHE[key] = load_benchmark(name, scale=settings.scale,
-                                             random_state=settings.base_random_seed)
-    return _DATASET_CACHE[key]
-
-
-def clear_dataset_cache() -> None:
-    """Drop all cached benchmarks (used by tests)."""
-    _DATASET_CACHE.clear()
+__all__ = [
+    "ACTIVE_LEARNING_METHODS",
+    "MethodRun",
+    "SelectorFactory",
+    "clear_dataset_cache",
+    "enumerate_run_specs",
+    "get_dataset",
+    "method_factory",
+    "run_learning_curves",
+    "run_method",
+    "run_single",
+    "run_spec_grid",
+]
 
 
 @dataclass
@@ -81,37 +57,74 @@ class MethodRun:
         return average_curves([result.learning_curve() for result in self.results])
 
     def selection_runtimes(self) -> list[float]:
-        """Per-iteration selection runtimes averaged over runs (Figure 6)."""
+        """Per-iteration selection runtimes averaged over runs (Figure 6).
+
+        Each iteration is averaged over the runs that reached it, so a run
+        that stopped selecting early (exhausted pool) shortens nothing but
+        its own contribution.
+        """
         per_run = [result.selection_runtimes() for result in self.results]
-        if not per_run:
-            return []
-        length = min(len(runtimes) for runtimes in per_run)
-        return [
-            float(sum(runtimes[i] for runtimes in per_run) / len(per_run))
-            for i in range(length)
-        ]
+        length = max((len(runtimes) for runtimes in per_run), default=0)
+        averaged = []
+        for i in range(length):
+            reached = [runtimes[i] for runtimes in per_run if len(runtimes) > i]
+            averaged.append(float(sum(reached) / len(reached)))
+        return averaged
 
 
-def run_single(
-    dataset: EMDataset,
-    selector: Selector,
+def enumerate_run_specs(
+    dataset_name: str,
+    method: str,
     settings: ExperimentSettings,
-    random_state: int,
+    beta: float | None = None,
+    alphas: tuple[float, ...] | None = None,
     weak_supervision: WeakSupervisionMode | str = WeakSupervisionMode.SELECTOR,
-) -> ActiveLearningResult:
-    """One active-learning run with the settings' iteration/budget counts."""
-    loop = ActiveLearningLoop(
-        dataset=dataset,
-        selector=selector,
-        matcher_config=settings.matcher_config,
-        featurizer_config=settings.featurizer_config,
-        iterations=settings.iterations,
-        budget_per_iteration=settings.budget_per_iteration,
-        seed_size=settings.seed_size,
-        weak_supervision=weak_supervision,
-        random_state=random_state,
-    )
-    return loop.run()
+) -> list[RunSpec]:
+    """The job grid behind one ``run_method`` call (seeds × α values).
+
+    The battleship method is averaged over ``alphas`` (the paper averages
+    α ∈ {0.25, 0.5, 0.75}); other methods run a single nominal α.
+    """
+    method_factory(method)  # validate the name before enumerating
+    beta = settings.beta if beta is None else beta
+    alpha_values = alphas if alphas is not None else (
+        settings.alphas if method == "battleship" else (0.5,))
+    return [
+        RunSpec.create(dataset_name, method, seed, alpha, beta,
+                       weak_supervision, settings)
+        for seed in settings.seeds()
+        for alpha in alpha_values
+    ]
+
+
+def _resolve_engine(settings: ExperimentSettings,
+                    engine: ExperimentEngine | None) -> ExperimentEngine:
+    """Default to a serial, store-less engine over ``settings``."""
+    if engine is None:
+        return ExperimentEngine(settings)
+    if engine.settings != settings:
+        raise ConfigurationError(
+            "The engine was built from different ExperimentSettings than the "
+            "requested run; construct engine and run from the same settings")
+    return engine
+
+
+def run_spec_grid(
+    spec_groups: dict[object, list[RunSpec]],
+    settings: ExperimentSettings,
+    engine: ExperimentEngine | None = None,
+) -> dict[object, list[ActiveLearningResult]]:
+    """Resolve several labeled groups of specs through one engine batch.
+
+    Submitting the union as a single batch lets a parallel executor overlap
+    runs *across* groups (e.g. across a figure's β values or a table's α
+    columns), instead of being capped at the seeds within one group.
+    """
+    engine = _resolve_engine(settings, engine)
+    all_specs = [spec for specs in spec_groups.values() for spec in specs]
+    results = engine.run(all_specs)
+    return {key: [results[spec] for spec in specs]
+            for key, specs in spec_groups.items()}
 
 
 def run_method(
@@ -121,36 +134,44 @@ def run_method(
     beta: float | None = None,
     alphas: tuple[float, ...] | None = None,
     weak_supervision: WeakSupervisionMode | str = WeakSupervisionMode.SELECTOR,
+    engine: ExperimentEngine | None = None,
 ) -> MethodRun:
     """Run ``method`` on ``dataset_name`` averaged over seeds (and α values).
 
-    The battleship method is additionally averaged over ``alphas`` (the paper
-    averages α ∈ {0.25, 0.5, 0.75}); other methods ignore the α/β arguments.
+    With an ``engine`` the runs execute through its executor and artifact
+    store (parallelism and resume); otherwise they run serially in-process.
     """
-    factory = method_factory(method)
-    dataset = get_dataset(dataset_name, settings)
-    beta = settings.beta if beta is None else beta
-    alpha_values = alphas if alphas is not None else (
-        settings.alphas if method == "battleship" else (0.5,))
-
-    run = MethodRun(dataset=dataset_name, method=method)
-    for seed in settings.seeds():
-        for alpha in alpha_values:
-            selector = factory(alpha, beta)
-            run.results.append(run_single(dataset, selector, settings, seed,
-                                          weak_supervision))
-    return run
+    specs = enumerate_run_specs(dataset_name, method, settings,
+                                beta=beta, alphas=alphas,
+                                weak_supervision=weak_supervision)
+    resolved = run_spec_grid({dataset_name: specs}, settings, engine)
+    return MethodRun(dataset=dataset_name, method=method,
+                     results=resolved[dataset_name])
 
 
 def run_learning_curves(
     dataset_names: tuple[str, ...],
     methods: tuple[str, ...],
     settings: ExperimentSettings,
+    engine: ExperimentEngine | None = None,
 ) -> dict[str, dict[str, LearningCurve]]:
-    """Learning curves per dataset per method (the data behind Figure 5)."""
-    curves: dict[str, dict[str, LearningCurve]] = {}
-    for dataset_name in dataset_names:
-        curves[dataset_name] = {}
-        for method in methods:
-            curves[dataset_name][method] = run_method(dataset_name, method, settings).curve()
-    return curves
+    """Learning curves per dataset per method (the data behind Figure 5).
+
+    The whole grid is enumerated up front and submitted as one batch, so a
+    parallel engine overlaps runs across datasets and methods, not just
+    within one method.
+    """
+    groups = {
+        (dataset_name, method): enumerate_run_specs(dataset_name, method, settings)
+        for dataset_name in dataset_names
+        for method in methods
+    }
+    resolved = run_spec_grid(groups, settings, engine)
+    return {
+        dataset_name: {
+            method: average_curves([result.learning_curve()
+                                    for result in resolved[(dataset_name, method)]])
+            for method in methods
+        }
+        for dataset_name in dataset_names
+    }

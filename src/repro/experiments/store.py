@@ -1,0 +1,93 @@
+"""Persistent JSON artifact store for active-learning runs.
+
+One completed :class:`~repro.active.loop.ActiveLearningResult` is one JSON
+file named after the :meth:`~repro.experiments.engine.RunSpec.fingerprint` of
+the spec that produced it.  The spec itself is embedded in the payload, so a
+store directory is self-describing: results can be re-aggregated into new
+figures and tables long after the sweep that produced them, and a re-executed
+sweep skips every run whose artifact already exists (resume).
+
+Layout::
+
+    <root>/
+        3f2a…c9.json   # {"format_version": 1, "spec": {…}, "result": {…}}
+        71be…04.json
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import TYPE_CHECKING, Iterator
+
+from repro.active.loop import ActiveLearningResult
+from repro.exceptions import ConfigurationError
+
+if TYPE_CHECKING:  # avoid a circular import; engine imports the store
+    from repro.experiments.engine import RunSpec
+
+#: Bumped whenever the artifact payload layout changes incompatibly.
+FORMAT_VERSION = 1
+
+
+class ArtifactStore:
+    """Directory of per-run JSON artifacts keyed by RunSpec fingerprint."""
+
+    def __init__(self, root: str | os.PathLike[str]) -> None:
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+
+    def path_for(self, spec: "RunSpec") -> Path:
+        """The artifact file a result for ``spec`` lives at."""
+        return self.root / f"{spec.fingerprint()}.json"
+
+    def __contains__(self, spec: "RunSpec") -> bool:
+        return self.path_for(spec).exists()
+
+    def _read_payload(self, path: Path) -> dict[str, object]:
+        payload = json.loads(path.read_text(encoding="utf-8"))
+        version = payload.get("format_version")
+        if version != FORMAT_VERSION:
+            raise ConfigurationError(
+                f"Artifact {path} has format version {version!r}, expected "
+                f"{FORMAT_VERSION}; use a fresh --store directory (or delete "
+                f"the stale artifacts) to re-execute these runs")
+        return payload
+
+    def get(self, spec: "RunSpec") -> ActiveLearningResult | None:
+        """Load the stored result for ``spec``, or ``None`` if absent."""
+        path = self.path_for(spec)
+        if not path.exists():
+            return None
+        payload = self._read_payload(path)
+        return ActiveLearningResult.from_dict(payload["result"])
+
+    def put(self, spec: "RunSpec", result: ActiveLearningResult) -> Path:
+        """Persist ``result`` under ``spec``'s fingerprint (atomically)."""
+        path = self.path_for(spec)
+        payload = {
+            "format_version": FORMAT_VERSION,
+            "spec": spec.to_dict(),
+            "result": result.to_dict(),
+        }
+        # Write-then-rename so a crashed run never leaves a truncated
+        # artifact that a resume would try to load.
+        temporary = path.with_suffix(".json.tmp")
+        temporary.write_text(json.dumps(payload, indent=1, sort_keys=True),
+                             encoding="utf-8")
+        os.replace(temporary, path)
+        return path
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.root.glob("*.json"))
+
+    def items(self) -> Iterator[tuple[dict[str, object], ActiveLearningResult]]:
+        """Iterate ``(spec_dict, result)`` over every stored artifact.
+
+        Yields the raw spec dictionary (not a RunSpec) so re-aggregation
+        scripts can filter without importing the engine.
+        """
+        for path in sorted(self.root.glob("*.json")):
+            payload = self._read_payload(path)
+            yield payload["spec"], ActiveLearningResult.from_dict(payload["result"])

@@ -9,10 +9,15 @@ from __future__ import annotations
 
 from repro.baselines.full_training import evaluate_zeroer, train_full_matcher
 from repro.datasets.registry import PAPER_STATISTICS
-from repro.evaluation.curves import LearningCurve
+from repro.evaluation.curves import LearningCurve, average_curves
 from repro.experiments.configs import ExperimentSettings, default_settings
+from repro.experiments.engine import ExperimentEngine
 from repro.experiments.paper_values import TABLE4_F1, TABLE5_AUC, TABLE6_ALPHA_F1
-from repro.experiments.runner import get_dataset, run_method
+from repro.experiments.runner import (
+    enumerate_run_specs,
+    get_dataset,
+    run_spec_grid,
+)
 
 
 def table3_dataset_statistics(settings: ExperimentSettings | None = None) -> list[dict[str, object]]:
@@ -117,17 +122,24 @@ def table6_alpha_ablation(
     settings: ExperimentSettings,
     dataset_names: tuple[str, ...] | None = None,
     alphas: tuple[float, ...] = (0.0, 0.25, 0.5, 0.75, 1.0),
+    engine: ExperimentEngine | None = None,
 ) -> list[dict[str, object]]:
     """Table 6: final battleship F1 for different α values (β fixed at 0.5)."""
     dataset_names = dataset_names or settings.datasets
+    groups = {
+        (dataset_name, alpha): enumerate_run_specs(
+            dataset_name, "battleship", settings, alphas=(alpha,))
+        for dataset_name in dataset_names
+        for alpha in alphas
+    }
+    resolved = run_spec_grid(groups, settings, engine)
     rows: list[dict[str, object]] = []
     for dataset_name in dataset_names:
         row: dict[str, object] = {"dataset": dataset_name}
         for alpha in alphas:
-            run = run_method(dataset_name, "battleship", settings, alphas=(alpha,))
-            measured = round(run.curve().final_f1 * 100, 2)
-            paper = TABLE6_ALPHA_F1.get(dataset_name, {}).get(alpha)
-            row[f"alpha_{alpha}"] = measured
-            row[f"paper_{alpha}"] = paper
+            curve = average_curves([result.learning_curve()
+                                    for result in resolved[(dataset_name, alpha)]])
+            row[f"alpha_{alpha}"] = round(curve.final_f1 * 100, 2)
+            row[f"paper_{alpha}"] = TABLE6_ALPHA_F1.get(dataset_name, {}).get(alpha)
         rows.append(row)
     return rows

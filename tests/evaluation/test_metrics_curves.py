@@ -96,7 +96,17 @@ class TestLearningCurve:
         curve = LearningCurve([100, 200, 300], [0.3, 0.5, 0.7])
         assert curve.f1_at(250) == 0.5
         assert curve.f1_at(300) == 0.7
-        assert curve.f1_at(50) == 0.3
+
+    def test_f1_at_below_first_measurement_is_zero(self):
+        # Regression: budgets below the first measurement used to report the
+        # first measured F1, crediting a model that does not exist yet.
+        curve = LearningCurve([100, 200, 300], [0.3, 0.5, 0.7])
+        assert curve.f1_at(99) == 0.0
+        assert curve.f1_at(0) == 0.0
+        assert curve.f1_at(100) == 0.3
+
+    def test_f1_at_empty_curve(self):
+        assert LearningCurve().f1_at(500) == 0.0
 
     def test_auc_prefers_better_curves(self):
         good = LearningCurve([100, 200, 300], [0.6, 0.7, 0.8])

@@ -1,0 +1,299 @@
+"""Tests for the job engine, artifact store, and result serialization.
+
+The run-executing tests use a deliberately minuscule configuration (one
+iteration, tiny budgets, a small matcher) so the engine logic — spec
+enumeration, store resume, serial/parallel equivalence — is exercised end to
+end in seconds.
+"""
+
+import json
+
+import pytest
+
+from repro.active.loop import ActiveLearningResult, IterationRecord
+from repro.config import get_scale
+from repro.evaluation.metrics import MatchingMetrics
+from repro.exceptions import ConfigurationError
+from repro.experiments.configs import ExperimentSettings
+from repro.experiments.engine import (
+    ExperimentEngine,
+    ParallelExecutor,
+    RunSpec,
+    SerialExecutor,
+    settings_fingerprint,
+)
+from repro.experiments.runner import MethodRun, enumerate_run_specs, run_method
+from repro.experiments.store import ArtifactStore
+from repro.neural.featurizer import FeaturizerConfig
+from repro.neural.matcher import MatcherConfig
+
+
+@pytest.fixture(scope="module")
+def fast_settings() -> ExperimentSettings:
+    return ExperimentSettings(
+        scale=get_scale("tiny"),
+        datasets=("amazon_google",),
+        iterations=1,
+        budget_per_iteration=8,
+        seed_size=8,
+        num_seeds=2,
+        alphas=(0.5,),
+        beta=0.5,
+        matcher_config=MatcherConfig(hidden_dims=(24,), epochs=2, batch_size=16,
+                                     learning_rate=2e-3, random_state=0),
+        featurizer_config=FeaturizerConfig(hash_dim=32),
+        base_random_seed=7,
+    )
+
+
+def _sample_result() -> ActiveLearningResult:
+    metrics = [MatchingMetrics(precision=0.5, recall=0.25, f1=1.0 / 3.0,
+                               num_examples=40),
+               MatchingMetrics(precision=0.75, recall=0.6, f1=2.0 / 3.0,
+                               num_examples=40)]
+    return ActiveLearningResult(
+        dataset_name="amazon_google",
+        selector_name="battleship",
+        records=[
+            IterationRecord(iteration=i, num_labeled=8 + 8 * i, num_weak=3 * i,
+                            num_labeled_positives=4 + i, test_metrics=metric,
+                            train_seconds=0.125 * (i + 1),
+                            selection_seconds=0.0625 * i)
+            for i, metric in enumerate(metrics)
+        ],
+    )
+
+
+class TestSerialization:
+    def test_result_json_round_trip(self):
+        result = _sample_result()
+        payload = json.loads(json.dumps(result.to_dict()))
+        restored = ActiveLearningResult.from_dict(payload)
+        assert restored == result
+        assert restored.records[0].test_metrics == result.records[0].test_metrics
+
+    def test_round_trip_preserves_curves_and_runtimes(self):
+        result = _sample_result()
+        restored = ActiveLearningResult.from_dict(
+            json.loads(json.dumps(result.to_dict())))
+        original_curve = result.learning_curve()
+        restored_curve = restored.learning_curve()
+        assert restored_curve.labeled_counts == original_curve.labeled_counts
+        assert restored_curve.f1_scores == original_curve.f1_scores
+        assert restored.selection_runtimes() == result.selection_runtimes()
+
+    def test_metrics_round_trip_is_lossless(self):
+        metrics = MatchingMetrics(precision=1.0 / 3.0, recall=2.0 / 7.0,
+                                  f1=0.30769230769230776, num_examples=13)
+        assert MatchingMetrics.from_dict(
+            json.loads(json.dumps(metrics.to_dict()))) == metrics
+
+
+class TestRunSpec:
+    def test_fingerprint_is_stable(self, fast_settings):
+        first = RunSpec.create("amazon_google", "battleship", 7, 0.5, 0.5,
+                               "selector", fast_settings)
+        second = RunSpec.create("amazon_google", "battleship", 7, 0.5, 0.5,
+                                "selector", fast_settings)
+        assert first == second
+        assert first.fingerprint() == second.fingerprint()
+
+    def test_fingerprint_distinguishes_fields(self, fast_settings):
+        base = RunSpec.create("amazon_google", "battleship", 7, 0.5, 0.5,
+                              "selector", fast_settings)
+        variants = [
+            RunSpec.create("walmart_amazon", "battleship", 7, 0.5, 0.5,
+                           "selector", fast_settings),
+            RunSpec.create("amazon_google", "dal", 7, 0.5, 0.5,
+                           "selector", fast_settings),
+            RunSpec.create("amazon_google", "battleship", 8, 0.5, 0.5,
+                           "selector", fast_settings),
+            RunSpec.create("amazon_google", "battleship", 7, 0.25, 0.5,
+                           "selector", fast_settings),
+            RunSpec.create("amazon_google", "battleship", 7, 0.5, 1.0,
+                           "selector", fast_settings),
+            RunSpec.create("amazon_google", "battleship", 7, 0.5, 0.5,
+                           "off", fast_settings),
+        ]
+        fingerprints = {spec.fingerprint() for spec in variants}
+        assert len(fingerprints) == len(variants)
+        assert base.fingerprint() not in fingerprints
+
+    def test_settings_hash_tracks_run_relevant_fields(self, fast_settings):
+        from dataclasses import replace
+        changed = replace(fast_settings, iterations=2)
+        assert settings_fingerprint(changed) != settings_fingerprint(fast_settings)
+        # Grid-only fields don't invalidate stored runs.
+        widened = replace(fast_settings, num_seeds=5,
+                          datasets=("amazon_google", "walmart_amazon"))
+        assert settings_fingerprint(widened) == settings_fingerprint(fast_settings)
+
+    def test_spec_dict_round_trip(self, fast_settings):
+        spec = RunSpec.create("amazon_google", "dal", 7, 0.5, 0.5,
+                              "entropy", fast_settings)
+        assert RunSpec.from_dict(json.loads(json.dumps(spec.to_dict()))) == spec
+
+    def test_enumerate_run_specs_grid(self, fast_settings):
+        specs = enumerate_run_specs("amazon_google", "battleship", fast_settings,
+                                    alphas=(0.25, 0.75))
+        assert len(specs) == 4  # 2 seeds x 2 alphas
+        assert len(set(specs)) == 4
+        assert {spec.alpha for spec in specs} == {0.25, 0.75}
+
+    def test_enumerate_rejects_unknown_method(self, fast_settings):
+        with pytest.raises(ConfigurationError):
+            enumerate_run_specs("amazon_google", "mystery", fast_settings)
+
+
+class TestArtifactStore:
+    def test_put_get_round_trip(self, tmp_path, fast_settings):
+        store = ArtifactStore(tmp_path / "store")
+        spec = RunSpec.create("amazon_google", "battleship", 7, 0.5, 0.5,
+                              "selector", fast_settings)
+        result = _sample_result()
+        assert spec not in store
+        assert store.get(spec) is None
+        path = store.put(spec, result)
+        assert path.exists()
+        assert spec in store
+        assert store.get(spec) == result
+        assert len(store) == 1
+
+    def test_incompatible_format_version_rejected(self, tmp_path, fast_settings):
+        store = ArtifactStore(tmp_path / "store")
+        spec = RunSpec.create("amazon_google", "battleship", 7, 0.5, 0.5,
+                              "selector", fast_settings)
+        store.put(spec, _sample_result())
+        path = store.path_for(spec)
+        payload = json.loads(path.read_text())
+        payload["format_version"] = 999
+        path.write_text(json.dumps(payload))
+        with pytest.raises(ConfigurationError):
+            store.get(spec)
+        with pytest.raises(ConfigurationError):
+            list(store.items())
+
+    def test_items_expose_spec_and_result(self, tmp_path, fast_settings):
+        store = ArtifactStore(tmp_path / "store")
+        spec = RunSpec.create("amazon_google", "dal", 9, 0.5, 0.5,
+                              "selector", fast_settings)
+        store.put(spec, _sample_result())
+        ((spec_dict, result),) = list(store.items())
+        assert spec_dict == spec.to_dict()
+        assert result == _sample_result()
+
+
+class TestEngine:
+    def test_engine_rejects_foreign_specs(self, fast_settings):
+        from dataclasses import replace
+        other = replace(fast_settings, iterations=3)
+        specs = enumerate_run_specs("amazon_google", "random", other)
+        with pytest.raises(ConfigurationError):
+            ExperimentEngine(fast_settings).run(specs)
+
+    def test_run_method_rejects_mismatched_engine(self, fast_settings):
+        from dataclasses import replace
+        other = replace(fast_settings, iterations=3)
+        with pytest.raises(ConfigurationError):
+            run_method("amazon_google", "random", other,
+                       engine=ExperimentEngine(fast_settings))
+
+    def test_store_resume_executes_zero_jobs(self, tmp_path, fast_settings):
+        store = ArtifactStore(tmp_path / "store")
+        specs = enumerate_run_specs("amazon_google", "random", fast_settings)
+
+        first_engine = ExperimentEngine(fast_settings, store=store)
+        first_results = first_engine.run(specs)
+        assert first_engine.last_report.executed == len(specs)
+        assert first_engine.last_report.cached == 0
+
+        second_engine = ExperimentEngine(fast_settings,
+                                         store=ArtifactStore(tmp_path / "store"))
+        second_results = second_engine.run(specs)
+        assert second_engine.last_report.executed == 0
+        assert second_engine.last_report.cached == len(specs)
+        for spec in specs:
+            assert second_results[spec] == first_results[spec]
+
+    def test_memory_cache_avoids_reexecution_without_store(self, fast_settings):
+        engine = ExperimentEngine(fast_settings)
+        specs = enumerate_run_specs("amazon_google", "random", fast_settings)
+        first = engine.run(specs)
+        assert engine.last_report.executed == len(specs)
+        second = engine.run(specs)
+        assert engine.last_report.executed == 0
+        assert engine.last_report.cached == len(specs)
+        assert second == first
+
+    def test_interrupted_batch_persists_completed_runs(self, tmp_path, fast_settings):
+        class ExplodingExecutor(SerialExecutor):
+            """Fails after yielding the first result (simulated crash)."""
+
+            def execute(self, specs, settings):
+                inner = super().execute(specs, settings)
+                yield next(inner)
+                raise RuntimeError("crashed mid-sweep")
+
+        store = ArtifactStore(tmp_path / "store")
+        specs = enumerate_run_specs("amazon_google", "random", fast_settings)
+        assert len(specs) == 2
+        engine = ExperimentEngine(fast_settings, executor=ExplodingExecutor(),
+                                  store=store)
+        with pytest.raises(RuntimeError):
+            engine.run(specs)
+        assert engine.last_report.executed == 1
+        assert len(store) == 1  # the completed run survived the crash
+
+        resumed = ExperimentEngine(fast_settings,
+                                   store=ArtifactStore(tmp_path / "store"))
+        resumed.run(specs)
+        assert resumed.last_report.executed == 1
+        assert resumed.last_report.cached == 1
+
+    def test_duplicate_specs_resolved_once(self, tmp_path, fast_settings):
+        store = ArtifactStore(tmp_path / "store")
+        engine = ExperimentEngine(fast_settings, store=store)
+        spec, = enumerate_run_specs("amazon_google", "random", fast_settings,
+                                    alphas=(0.5,))[:1]
+        engine.run([spec, spec])
+        assert engine.last_report.total == 1
+
+    def test_parallel_matches_serial_bit_for_bit(self, fast_settings):
+        """Acceptance: ParallelExecutor(jobs=2) == SerialExecutor, exactly."""
+        specs = (enumerate_run_specs("amazon_google", "random", fast_settings)
+                 + enumerate_run_specs("amazon_google", "battleship",
+                                       fast_settings)[:1])
+        serial = ExperimentEngine(fast_settings, executor=SerialExecutor()).run(specs)
+        parallel = ExperimentEngine(
+            fast_settings, executor=ParallelExecutor(jobs=2)).run(specs)
+        for spec in specs:
+            serial_curve = serial[spec].learning_curve()
+            parallel_curve = parallel[spec].learning_curve()
+            assert parallel_curve.labeled_counts == serial_curve.labeled_counts
+            assert parallel_curve.f1_scores == serial_curve.f1_scores
+            assert ([r.test_metrics for r in parallel[spec].records]
+                    == [r.test_metrics for r in serial[spec].records])
+
+
+class TestMethodRunAggregation:
+    def test_selection_runtimes_average_over_runs_that_reached_iteration(self):
+        def result_with_runtimes(runtimes):
+            metrics = MatchingMetrics(precision=0.5, recall=0.5, f1=0.5,
+                                      num_examples=10)
+            return ActiveLearningResult(
+                dataset_name="d", selector_name="s",
+                records=[IterationRecord(iteration=i, num_labeled=8, num_weak=0,
+                                         num_labeled_positives=4,
+                                         test_metrics=metrics, train_seconds=0.0,
+                                         selection_seconds=seconds)
+                         for i, seconds in enumerate(runtimes)])
+
+        run = MethodRun(dataset="d", method="s", results=[
+            result_with_runtimes([1.0, 3.0, 5.0]),
+            result_with_runtimes([3.0]),  # exhausted its pool early
+        ])
+        # Regression: the tail used to be truncated to the shortest run.
+        assert run.selection_runtimes() == [2.0, 3.0, 5.0]
+
+    def test_selection_runtimes_empty(self):
+        assert MethodRun(dataset="d", method="s").selection_runtimes() == []

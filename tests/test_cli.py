@@ -3,6 +3,7 @@
 import pytest
 
 from repro.cli import build_parser, main
+from repro.exceptions import ConfigurationError
 
 
 class TestParser:
@@ -24,6 +25,21 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["run", "--dataset", "amazon_google",
                                        "--selector", "oracle"])
+
+    def test_experiments_defaults(self):
+        args = build_parser().parse_args(["experiments"])
+        assert args.jobs == 1
+        assert args.store is None
+        assert args.figure is None and args.table is None
+
+    def test_experiments_unknown_figure_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["experiments", "--figure", "2"])
+
+    def test_experiments_zero_jobs_rejected(self):
+        with pytest.raises(ConfigurationError):
+            main(["experiments", "--jobs", "0", "--datasets", "amazon_google",
+                  "--methods", "random"])
 
 
 class TestCommands:
@@ -59,6 +75,22 @@ class TestCommands:
                           "--epochs", "3", "--seed", "5"])
         assert exit_code == 0
         assert "Full D" in capsys.readouterr().out
+
+    def test_experiments_command_resumes_from_store(self, tmp_path, capsys):
+        argv = ["experiments", "--scale", "tiny", "--jobs", "1",
+                "--store", str(tmp_path / "artifacts"), "--table", "5",
+                "--datasets", "amazon_google", "--methods", "random"]
+        assert main(argv) == 0
+        first = capsys.readouterr().out
+        assert "Table 5" in first
+        assert "1 runs executed, 0 loaded from store" in first
+
+        assert main(argv) == 0
+        second = capsys.readouterr().out
+        assert "0 runs executed, 1 loaded from store" in second
+        # The aggregated table is identical whether computed or resumed.
+        assert (first[:first.index("\nengine:")]
+                == second[:second.index("\nengine:")])
 
     def test_export_command(self, tmp_path, capsys):
         exit_code = main(["export", "--dataset", "wdc_cameras", "--scale", "tiny",
