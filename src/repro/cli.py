@@ -231,6 +231,9 @@ def _command_experiments(args: argparse.Namespace) -> int:
             print(format_table(_curve_rows(curves),
                                title="Figure 5 — learning curves"))
         elif number == 6:
+            # figure6_runtime guards its own timings: with --jobs > 1 or a
+            # --store it re-measures through a serial, store-less engine
+            # (warning) and hands the fresh results back to ``engine``.
             print(format_table(figures.figure6_runtime(settings, engine=engine),
                                title="Figure 6 — selection runtime"))
         elif number == 7:
@@ -272,8 +275,12 @@ def _command_experiments(args: argparse.Namespace) -> int:
 
     report = engine.total_report
     store_note = f"  store={args.store}" if args.store else ""
+    # Memory hits (specs shared by several builders in this invocation) are
+    # reported separately — they are not store loads.
+    memory_note = (f", {report.from_memory} reused in-memory"
+                   if report.from_memory else "")
     print(f"\nengine: {report.executed} runs executed, "
-          f"{report.cached} loaded from store{store_note}")
+          f"{report.from_store} loaded from store{memory_note}{store_note}")
     return 0
 
 

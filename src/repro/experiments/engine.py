@@ -25,7 +25,7 @@ from __future__ import annotations
 import dataclasses
 import hashlib
 import json
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import ProcessPoolExecutor, as_completed
 from dataclasses import dataclass
 from typing import Callable, Iterable, Iterator, Mapping, Sequence
 
@@ -213,14 +213,15 @@ def execute_spec(spec: RunSpec, settings: ExperimentSettings) -> ActiveLearningR
 class SerialExecutor:
     """Execute jobs one after another in the calling process.
 
-    ``execute`` yields results as they complete so the engine can persist
-    each run before the next one starts.
+    ``execute`` yields ``(spec, result)`` pairs as runs complete so the
+    engine can persist each run before the next one starts.
     """
 
-    def execute(self, specs: Sequence[RunSpec],
-                settings: ExperimentSettings) -> Iterator[ActiveLearningResult]:
+    def execute(
+        self, specs: Sequence[RunSpec], settings: ExperimentSettings,
+    ) -> Iterator[tuple[RunSpec, ActiveLearningResult]]:
         for spec in specs:
-            yield execute_spec(spec, settings)
+            yield spec, execute_spec(spec, settings)
 
 
 # Worker-process state for ParallelExecutor, set by the pool initializer.
@@ -247,9 +248,16 @@ def _execute_in_worker(spec: RunSpec) -> ActiveLearningResult:
 class ParallelExecutor:
     """Fan jobs out over a :class:`ProcessPoolExecutor`.
 
-    Results are yielded in submission order, so a parallel sweep aggregates
-    (and persists) in exactly the same order as a serial one — curves are
-    bit-identical.
+    ``execute`` yields ``(spec, result)`` pairs in *completion* order, so the
+    engine persists every finished run immediately — an interrupted parallel
+    sweep resumes from the completed runs, not just a submission-order
+    prefix.  When a job fails (or the interrupt lands) while runs are
+    executing, queued jobs are cancelled and finished siblings are still
+    yielded for persistence; only a failure raised by the *consumer* while
+    it handles a result (which closes the generator) can drop
+    completed-but-unyielded siblings.  Curves stay bit-identical to serial
+    execution because results are keyed by spec and every run is seeded
+    independently of the order in which its siblings finish.
     """
 
     def __init__(self, jobs: int = 2) -> None:
@@ -257,8 +265,9 @@ class ParallelExecutor:
             raise ConfigurationError(f"jobs must be >= 1, got {jobs}")
         self.jobs = jobs
 
-    def execute(self, specs: Sequence[RunSpec],
-                settings: ExperimentSettings) -> Iterator[ActiveLearningResult]:
+    def execute(
+        self, specs: Sequence[RunSpec], settings: ExperimentSettings,
+    ) -> Iterator[tuple[RunSpec, ActiveLearningResult]]:
         if not specs:
             return
         if self.jobs == 1 or len(specs) == 1:
@@ -269,7 +278,31 @@ class ParallelExecutor:
             initializer=_init_worker,
             initargs=(settings,),
         ) as pool:
-            yield from pool.map(_execute_in_worker, specs)
+            futures = {pool.submit(_execute_in_worker, spec): spec
+                       for spec in specs}
+            consumed: set = set()
+            try:
+                for future in as_completed(futures):
+                    consumed.add(future)
+                    yield futures[future], future.result()
+            except GeneratorExit:
+                # The consumer stopped early; don't run what it won't see.
+                pool.shutdown(wait=False, cancel_futures=True)
+                raise
+            except BaseException:
+                # One run failed, or the sweep was interrupted (Ctrl-C).
+                # Cancel the queued jobs, wait out the few still running
+                # (on SIGINT the workers are interrupted too, so this is
+                # short), and hand every salvageable finished run to the
+                # engine for persistence before the error propagates —
+                # otherwise a resume would re-execute runs that completed.
+                pool.shutdown(wait=True, cancel_futures=True)
+                for future, spec in futures.items():
+                    if (future not in consumed and future.done()
+                            and not future.cancelled()
+                            and future.exception() is None):
+                        yield spec, future.result()
+                raise
 
 
 # --------------------------------------------------------------------------- #
@@ -280,7 +313,13 @@ class EngineReport:
     """How the jobs of one :meth:`ExperimentEngine.run` call were satisfied."""
 
     executed: int = 0
-    cached: int = 0
+    from_store: int = 0
+    from_memory: int = 0
+
+    @property
+    def cached(self) -> int:
+        """Runs satisfied without executing (store loads + memory hits)."""
+        return self.from_store + self.from_memory
 
     @property
     def total(self) -> int:
@@ -288,7 +327,8 @@ class EngineReport:
 
     def merge(self, other: "EngineReport") -> None:
         self.executed += other.executed
-        self.cached += other.cached
+        self.from_store += other.from_store
+        self.from_memory += other.from_memory
 
 
 class ExperimentEngine:
@@ -327,13 +367,30 @@ class ExperimentEngine:
         self.total_report = EngineReport()
         self._memory: dict[RunSpec, ActiveLearningResult] = {}
 
-    def _lookup(self, spec: RunSpec) -> ActiveLearningResult | None:
-        cached = self._memory.get(spec)
-        if cached is None and self.store is not None:
-            cached = self.store.get(spec)
-            if cached is not None:
-                self._memory[spec] = cached
-        return cached
+    def cached_results(self) -> dict[RunSpec, ActiveLearningResult]:
+        """Copy of every result this engine currently holds in memory."""
+        return dict(self._memory)
+
+    def adopt_results(
+        self, results: Mapping[RunSpec, ActiveLearningResult],
+    ) -> None:
+        """Seed the engine with results produced elsewhere (same settings).
+
+        Adopted results are persisted to the store (they are fresh, valid
+        artifacts) and served from memory by later :meth:`run` calls instead
+        of re-executing their specs.  Used e.g. by the figure-6 builder to
+        hand its dedicated serial timing runs back to the shared engine.
+        """
+        expected_hash = settings_fingerprint(self.settings)
+        for spec, result in results.items():
+            if spec.settings_hash != expected_hash:
+                raise ConfigurationError(
+                    f"Cannot adopt result for {spec.dataset}/{spec.method}: it "
+                    f"was produced under settings {spec.settings_hash}, but "
+                    f"this engine runs {expected_hash}")
+            if self.store is not None:
+                self.store.put(spec, result)
+            self._memory[spec] = result
 
     def run(self, specs: Iterable[RunSpec]) -> dict[RunSpec, ActiveLearningResult]:
         """Execute (or load) every spec; returns results keyed by spec."""
@@ -348,24 +405,34 @@ class ExperimentEngine:
 
         results: dict[RunSpec, ActiveLearningResult] = {}
         pending: list[RunSpec] = []
+        from_store = from_memory = 0
         for spec in ordered:
-            cached = self._lookup(spec)
-            if cached is not None:
-                results[spec] = cached
+            if spec in self._memory:
+                results[spec] = self._memory[spec]
+                from_memory += 1
+                continue
+            stored = self.store.get(spec) if self.store is not None else None
+            if stored is not None:
+                self._memory[spec] = stored
+                results[spec] = stored
+                from_store += 1
             else:
                 pending.append(spec)
 
         executed = 0
         try:
-            for spec, result in zip(pending,
-                                    self.executor.execute(pending, self.settings)):
-                if self.store is not None:
-                    self.store.put(spec, result)
+            for spec, result in self.executor.execute(pending, self.settings):
+                # Memory first: if the store write fails, the result still
+                # survives for this engine's lifetime (a same-process retry
+                # won't re-execute the run).
                 self._memory[spec] = result
                 results[spec] = result
                 executed += 1
+                if self.store is not None:
+                    self.store.put(spec, result)
         finally:
             self.last_report = EngineReport(executed=executed,
-                                            cached=len(ordered) - len(pending))
+                                            from_store=from_store,
+                                            from_memory=from_memory)
             self.total_report.merge(self.last_report)
         return results

@@ -7,6 +7,7 @@ benchmark harness prints them so the shape can be compared with the paper.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -14,9 +15,10 @@ import numpy as np
 from repro.active.weak_supervision import WeakSupervisionMode
 from repro.ann.exact import ExactNearestNeighbors
 from repro.baselines.full_training import train_full_matcher
-from repro.evaluation.curves import LearningCurve, average_curves
+from repro.evaluation.curves import LearningCurve
+from repro.exceptions import ConfigurationError
 from repro.experiments.configs import ABLATION_DATASETS, ExperimentSettings, default_settings
-from repro.experiments.engine import ExperimentEngine
+from repro.experiments.engine import ExperimentEngine, SerialExecutor
 from repro.experiments.paper_values import (
     FIGURE7_BETA_F1,
     FIGURE8_CORRESPONDENCE,
@@ -27,9 +29,9 @@ from repro.experiments.runner import (
     ACTIVE_LEARNING_METHODS,
     enumerate_run_specs,
     get_dataset,
+    run_curve_grid,
     run_learning_curves,
     run_method,
-    run_spec_grid,
 )
 from repro.neural.featurizer import PairFeaturizer
 from repro.visualization.tsne import TSNE, TSNEConfig
@@ -152,24 +154,68 @@ def figure5_learning_curves(
 # --------------------------------------------------------------------------- #
 # Figure 6 — battleship selection runtime per iteration
 # --------------------------------------------------------------------------- #
+def _measures_timings_faithfully(engine: ExperimentEngine) -> bool:
+    """Whether runs resolved by ``engine`` yield trustworthy wall-clock timings.
+
+    A warm store replays the timings recorded when the artifact was produced,
+    and parallel workers contend for cores — either way the measured
+    ``selection_seconds`` no longer describe this machine running one job.
+    """
+    if engine.store is not None:
+        return False
+    executor = engine.executor
+    return isinstance(executor, SerialExecutor) or getattr(executor, "jobs", 0) == 1
+
+
 def figure6_runtime(
     settings: ExperimentSettings | None = None,
     dataset_names: tuple[str, ...] | None = None,
     engine: ExperimentEngine | None = None,
 ) -> list[dict[str, object]]:
-    """Reproduce Figure 6: battleship runtime (seconds) per iteration."""
+    """Reproduce Figure 6: battleship runtime (seconds) per iteration.
+
+    The figure reports *measured* runtimes, so given a parallel or
+    store-backed engine the runs are re-measured through a dedicated serial,
+    store-less engine (with a warning).  The fresh results are then handed
+    back to the caller's engine — serial measurements are valid artifacts;
+    only *replaying* stored timings is not — so overlapping figures don't
+    re-execute the same specs.
+    """
     settings = _resolve_settings(settings, engine)
+    if engine is not None and engine.settings != settings:
+        # Checked before any timing run, not only when adopt_results would
+        # reject the finished sweep's results at the very end.
+        raise ConfigurationError(
+            "figure6_runtime was given settings different from the engine's; "
+            "build both from the same ExperimentSettings")
     dataset_names = dataset_names or settings.datasets
+    timing_engine = engine
+    if engine is not None and not _measures_timings_faithfully(engine):
+        warnings.warn(
+            "figure 6: re-measuring selection runtimes through a serial, "
+            "store-less engine (timings taken under parallel contention or "
+            "replayed from artifacts would be invalid)",
+            stacklevel=2)
+        timing_engine = ExperimentEngine(settings)
     rows: list[dict[str, object]] = []
-    for dataset_name in dataset_names:
-        run = run_method(dataset_name, "battleship", settings, engine=engine)
-        runtimes = run.selection_runtimes()
-        for iteration, seconds in enumerate(runtimes, start=1):
-            rows.append({
-                "dataset": dataset_name,
-                "iteration": iteration,
-                "selection_seconds": round(seconds, 3),
-            })
+    try:
+        for dataset_name in dataset_names:
+            run = run_method(dataset_name, "battleship", settings,
+                             engine=timing_engine)
+            runtimes = run.selection_runtimes()
+            for iteration, seconds in enumerate(runtimes, start=1):
+                rows.append({
+                    "dataset": dataset_name,
+                    "iteration": iteration,
+                    "selection_seconds": round(seconds, 3),
+                })
+    finally:
+        # Adopt even on interruption/failure: runs the timing engine did
+        # complete would otherwise be lost with it, forcing a resume to
+        # re-execute them.
+        if timing_engine is not engine:
+            engine.adopt_results(timing_engine.cached_results())
+            engine.total_report.merge(timing_engine.total_report)
     return rows
 
 
@@ -190,13 +236,9 @@ def figure7_beta_ablation(
         for dataset_name in dataset_names
         for beta in betas
     }
-    resolved = run_spec_grid(groups, settings, engine)
+    curves = run_curve_grid(groups, settings, engine)
     return {
-        dataset_name: {
-            beta: average_curves([result.learning_curve()
-                                  for result in resolved[(dataset_name, beta)]])
-            for beta in betas
-        }
+        dataset_name: {beta: curves[(dataset_name, beta)] for beta in betas}
         for dataset_name in dataset_names
     }
 
@@ -236,15 +278,12 @@ def figure8_correspondence(
             dataset_name, "battleship", settings, beta=1.0, alphas=(1.0,))
         groups[(dataset_name, "dal")] = enumerate_run_specs(
             dataset_name, "dal", settings)
-    resolved = run_spec_grid(groups, settings, engine)
-
-    def _curve(key):
-        return average_curves([result.learning_curve() for result in resolved[key]])
+    curves = run_curve_grid(groups, settings, engine)
 
     rows: list[dict[str, object]] = []
     for dataset_name in dataset_names:
-        battleship = _curve((dataset_name, "battleship"))
-        dal = _curve((dataset_name, "dal"))
+        battleship = curves[(dataset_name, "battleship")]
+        dal = curves[(dataset_name, "dal")]
         paper = FIGURE8_CORRESPONDENCE.get(dataset_name, {})
         rows.append({
             "dataset": dataset_name,
@@ -276,15 +315,12 @@ def figure9_weak_supervision(
         for method in ("battleship", "dal")
         for mode in modes
     }
-    resolved = run_spec_grid(groups, settings, engine)
-
-    def _curve(key):
-        return average_curves([result.learning_curve() for result in resolved[key]])
+    curves = run_curve_grid(groups, settings, engine)
 
     rows: list[dict[str, object]] = []
     for dataset_name in dataset_names:
         results = {
-            method: tuple(_curve((dataset_name, method, mode)) for mode in modes)
+            method: tuple(curves[(dataset_name, method, mode)] for mode in modes)
             for method in ("battleship", "dal")
         }
         paper = FIGURE9_WEAK_SUPERVISION.get(dataset_name, {})
@@ -320,15 +356,12 @@ def figure10_ws_method(
         for dataset_name in dataset_names
         for mode in modes
     }
-    resolved = run_spec_grid(groups, settings, engine)
-
-    def _curve(key):
-        return average_curves([result.learning_curve() for result in resolved[key]])
+    curves = run_curve_grid(groups, settings, engine)
 
     rows: list[dict[str, object]] = []
     for dataset_name in dataset_names:
-        spatial = _curve((dataset_name, WeakSupervisionMode.SELECTOR))
-        entropy = _curve((dataset_name, WeakSupervisionMode.ENTROPY))
+        spatial = curves[(dataset_name, WeakSupervisionMode.SELECTOR)]
+        entropy = curves[(dataset_name, WeakSupervisionMode.ENTROPY)]
         paper = FIGURE10_WS_METHOD_AUC.get(dataset_name, {})
         rows.append({
             "dataset": dataset_name,

@@ -37,6 +37,7 @@ __all__ = [
     "enumerate_run_specs",
     "get_dataset",
     "method_factory",
+    "run_curve_grid",
     "run_learning_curves",
     "run_method",
     "run_single",
@@ -127,6 +128,23 @@ def run_spec_grid(
             for key, specs in spec_groups.items()}
 
 
+def run_curve_grid(
+    spec_groups: dict[object, list[RunSpec]],
+    settings: ExperimentSettings,
+    engine: ExperimentEngine | None = None,
+) -> dict[object, LearningCurve]:
+    """One seed/α-averaged learning curve per labeled group of specs.
+
+    This is the aggregation every figure and table shares: resolve the whole
+    grid as one engine batch (see :func:`run_spec_grid`), then collapse each
+    group's raw results into a single averaged curve.  Keeping the averaging
+    convention here means a change to it lands in every builder at once.
+    """
+    resolved = run_spec_grid(spec_groups, settings, engine)
+    return {key: average_curves([result.learning_curve() for result in results])
+            for key, results in resolved.items()}
+
+
 def run_method(
     dataset_name: str,
     method: str,
@@ -166,12 +184,8 @@ def run_learning_curves(
         for dataset_name in dataset_names
         for method in methods
     }
-    resolved = run_spec_grid(groups, settings, engine)
+    curves = run_curve_grid(groups, settings, engine)
     return {
-        dataset_name: {
-            method: average_curves([result.learning_curve()
-                                    for result in resolved[(dataset_name, method)]])
-            for method in methods
-        }
+        dataset_name: {method: curves[(dataset_name, method)] for method in methods}
         for dataset_name in dataset_names
     }

@@ -9,14 +9,14 @@ from __future__ import annotations
 
 from repro.baselines.full_training import evaluate_zeroer, train_full_matcher
 from repro.datasets.registry import PAPER_STATISTICS
-from repro.evaluation.curves import LearningCurve, average_curves
+from repro.evaluation.curves import LearningCurve
 from repro.experiments.configs import ExperimentSettings, default_settings
 from repro.experiments.engine import ExperimentEngine
 from repro.experiments.paper_values import TABLE4_F1, TABLE5_AUC, TABLE6_ALPHA_F1
 from repro.experiments.runner import (
     enumerate_run_specs,
     get_dataset,
-    run_spec_grid,
+    run_curve_grid,
 )
 
 
@@ -132,13 +132,12 @@ def table6_alpha_ablation(
         for dataset_name in dataset_names
         for alpha in alphas
     }
-    resolved = run_spec_grid(groups, settings, engine)
+    curves = run_curve_grid(groups, settings, engine)
     rows: list[dict[str, object]] = []
     for dataset_name in dataset_names:
         row: dict[str, object] = {"dataset": dataset_name}
         for alpha in alphas:
-            curve = average_curves([result.learning_curve()
-                                    for result in resolved[(dataset_name, alpha)]])
+            curve = curves[(dataset_name, alpha)]
             row[f"alpha_{alpha}"] = round(curve.final_f1 * 100, 2)
             row[f"paper_{alpha}"] = TABLE6_ALPHA_F1.get(dataset_name, {}).get(alpha)
         rows.append(row)

@@ -22,6 +22,7 @@ from repro.experiments.engine import (
     SerialExecutor,
     settings_fingerprint,
 )
+from repro.experiments.figures import figure6_runtime
 from repro.experiments.runner import MethodRun, enumerate_run_specs, run_method
 from repro.experiments.store import ArtifactStore
 from repro.neural.featurizer import FeaturizerConfig
@@ -212,6 +213,8 @@ class TestEngine:
         second_results = second_engine.run(specs)
         assert second_engine.last_report.executed == 0
         assert second_engine.last_report.cached == len(specs)
+        assert second_engine.last_report.from_store == len(specs)
+        assert second_engine.last_report.from_memory == 0
         for spec in specs:
             assert second_results[spec] == first_results[spec]
 
@@ -223,6 +226,9 @@ class TestEngine:
         second = engine.run(specs)
         assert engine.last_report.executed == 0
         assert engine.last_report.cached == len(specs)
+        # Without a store these are memory hits, not store loads.
+        assert engine.last_report.from_memory == len(specs)
+        assert engine.last_report.from_store == 0
         assert second == first
 
     def test_interrupted_batch_persists_completed_runs(self, tmp_path, fast_settings):
@@ -258,6 +264,44 @@ class TestEngine:
         engine.run([spec, spec])
         assert engine.last_report.total == 1
 
+    def test_parallel_failure_salvages_completed_runs(self, tmp_path, fast_settings):
+        """A failing job must not lose sibling runs that already finished."""
+        store = ArtifactStore(tmp_path / "store")
+        good = enumerate_run_specs("amazon_google", "random", fast_settings)
+        bad = RunSpec.create("amazon_google", "mystery", 7, 0.5, 0.5,
+                             "selector", fast_settings)
+        engine = ExperimentEngine(fast_settings,
+                                  executor=ParallelExecutor(jobs=2), store=store)
+        with pytest.raises(ConfigurationError):
+            engine.run(good + [bad])
+        # Both good runs completed (yielded or salvaged) and were persisted.
+        assert engine.last_report.executed == len(good)
+        assert len(store) == len(good)
+        resumed = ExperimentEngine(fast_settings,
+                                   store=ArtifactStore(tmp_path / "store"))
+        resumed.run(good)
+        assert resumed.last_report.executed == 0
+
+    def test_adopt_results_seeds_memory_and_store(self, tmp_path, fast_settings):
+        spec = RunSpec.create("amazon_google", "battleship", 7, 0.5, 0.5,
+                              "selector", fast_settings)
+        store = ArtifactStore(tmp_path / "store")
+        engine = ExperimentEngine(fast_settings, store=store)
+        engine.adopt_results({spec: _sample_result()})
+        assert spec in store
+        assert engine.cached_results() == {spec: _sample_result()}
+        engine.run([spec])
+        assert engine.last_report.executed == 0
+        assert engine.last_report.from_memory == 1
+
+    def test_adopt_results_rejects_foreign_settings(self, fast_settings):
+        from dataclasses import replace
+        other = replace(fast_settings, iterations=3)
+        spec = RunSpec.create("amazon_google", "random", 7, 0.5, 0.5,
+                              "selector", other)
+        with pytest.raises(ConfigurationError):
+            ExperimentEngine(fast_settings).adopt_results({spec: _sample_result()})
+
     def test_parallel_matches_serial_bit_for_bit(self, fast_settings):
         """Acceptance: ParallelExecutor(jobs=2) == SerialExecutor, exactly."""
         specs = (enumerate_run_specs("amazon_google", "random", fast_settings)
@@ -273,6 +317,56 @@ class TestEngine:
             assert parallel_curve.f1_scores == serial_curve.f1_scores
             assert ([r.test_metrics for r in parallel[spec].records]
                     == [r.test_metrics for r in serial[spec].records])
+
+
+class TestFigure6TimingGuard:
+    def test_parallel_store_engine_remeasures_and_hands_results_back(
+            self, tmp_path, fast_settings):
+        """Figure 6 timings must not come from contended workers or a warm store."""
+        store = ArtifactStore(tmp_path / "store")
+        engine = ExperimentEngine(fast_settings,
+                                  executor=ParallelExecutor(jobs=2), store=store)
+        with pytest.warns(UserWarning, match="re-measuring selection runtimes"):
+            rows = figure6_runtime(fast_settings, engine=engine)
+        assert rows and rows[0]["dataset"] == "amazon_google"
+        # The fresh serial results were adopted: same grid resolves with zero
+        # executions, and the store holds valid artifacts for every spec.
+        specs = enumerate_run_specs("amazon_google", "battleship", fast_settings)
+        engine.run(specs)
+        assert engine.last_report.executed == 0
+        assert len(store) == len(specs)
+
+    def test_interrupted_timing_sweep_still_adopts_completed_runs(
+            self, tmp_path, fast_settings):
+        """A failure mid-sweep must not lose the timing runs that finished."""
+        store = ArtifactStore(tmp_path / "store")
+        engine = ExperimentEngine(fast_settings,
+                                  executor=ParallelExecutor(jobs=2), store=store)
+        with pytest.warns(UserWarning, match="re-measuring"):
+            with pytest.raises(Exception):
+                figure6_runtime(
+                    fast_settings,
+                    dataset_names=("amazon_google", "no_such_dataset"),
+                    engine=engine)
+        # The first dataset's completed timing runs reached the store.
+        specs = enumerate_run_specs("amazon_google", "battleship", fast_settings)
+        assert len(store) == len(specs)
+
+    def test_mismatched_settings_rejected_before_any_run(self, fast_settings):
+        from dataclasses import replace
+        other = replace(fast_settings, iterations=3)
+        engine = ExperimentEngine(other, executor=ParallelExecutor(jobs=2))
+        with pytest.raises(ConfigurationError):
+            figure6_runtime(fast_settings, engine=engine)
+
+    def test_serial_storeless_engine_is_used_directly(self, fast_settings, recwarn):
+        engine = ExperimentEngine(fast_settings)
+        rows = figure6_runtime(fast_settings, engine=engine)
+        assert rows
+        assert not [w for w in recwarn
+                    if "re-measuring" in str(w.message)]
+        # No dedicated engine: the shared one resolved the timing runs.
+        assert engine.total_report.executed > 0
 
 
 class TestMethodRunAggregation:
