@@ -7,7 +7,14 @@ from repro.active.budget import (
     split_budget,
 )
 from repro.active.loop import ActiveLearningLoop, ActiveLearningResult, IterationRecord
-from repro.active.oracle import LabelingOracle, NoisyOracle, PerfectOracle
+from repro.active.oracle import (
+    ABSTAIN,
+    AbstainingOracle,
+    ClassConditionalNoisyOracle,
+    LabelingOracle,
+    NoisyOracle,
+    PerfectOracle,
+)
 from repro.active.selectors import (
     BattleshipConfig,
     BattleshipSelector,
@@ -21,11 +28,14 @@ from repro.active.state import ActiveLearningState
 from repro.active.weak_supervision import WeakSupervisionMode, resolve_mode, select_weak_labels
 
 __all__ = [
+    "ABSTAIN",
+    "AbstainingOracle",
     "ActiveLearningLoop",
     "ActiveLearningResult",
     "ActiveLearningState",
     "BattleshipConfig",
     "BattleshipSelector",
+    "ClassConditionalNoisyOracle",
     "CommitteeSelector",
     "EntropySelector",
     "IterationRecord",

@@ -206,7 +206,12 @@ class ActiveLearningLoop:
         return self._features
 
     def _initial_seed(self, universe: np.ndarray, rng: np.random.Generator) -> dict[int, int]:
-        """Labeled initialization seed: half matches, half non-matches."""
+        """Labeled initialization seed: half matches, half non-matches.
+
+        An abstaining oracle may decline some of the chosen pairs, in which
+        case the seed simply ends up smaller — exactly as a real campaign
+        would when annotators skip examples.
+        """
         labels = self.dataset.labels(universe)
         positives = universe[labels == 1]
         negatives = universe[labels == 0]
@@ -215,10 +220,8 @@ class ActiveLearningLoop:
         num_negative = min(self.seed_size - num_positive, len(negatives))
         chosen_positive = rng.choice(positives, size=num_positive, replace=False)
         chosen_negative = rng.choice(negatives, size=num_negative, replace=False)
-        seed = {}
-        for index in np.concatenate([chosen_positive, chosen_negative]):
-            seed[int(index)] = self.oracle.query(int(index))
-        return seed
+        return self.oracle.query_many(
+            np.concatenate([chosen_positive, chosen_negative]))
 
     def _train_matcher(self, state: ActiveLearningState, features: np.ndarray,
                        iteration: int) -> tuple[NeuralMatcher, float]:
@@ -280,6 +283,10 @@ class ActiveLearningLoop:
             dataset_name=self.dataset.name,
             selector_name=self.selector.name,
         )
+        # Pairs the oracle declined to label.  Abstention is per-pair
+        # consistent (see AbstainingOracle), so re-querying a refused pair
+        # would burn budget on an answer that is deterministically refused.
+        refused: set[int] = set()
 
         for iteration in range(self.iterations + 1):
             matcher, train_seconds = self._train_matcher(state, features, iteration)
@@ -303,9 +310,11 @@ class ActiveLearningLoop:
                 selection_seconds = time.perf_counter() - start
 
                 selected = [int(index) for index in selected
-                            if not state.is_labeled(int(index))]
+                            if not state.is_labeled(int(index))
+                            and int(index) not in refused]
                 selected = selected[:self.budget_per_iteration]
                 new_labels = self.oracle.query_many(selected)
+                refused.update(set(selected) - set(new_labels))
                 state.add_labels(new_labels)
                 state.set_weak_labels(weak)
 

@@ -1,8 +1,20 @@
 """Labeling oracles.
 
 Active learning sends selected pairs to an oracle (Section 3.6).  The paper
-assumes a perfect oracle; :class:`NoisyOracle` is provided as an extension to
-study how labeling mistakes affect the selection strategies.
+assumes a perfect oracle; the remaining oracles model the annotator
+imperfections Section 3.6 concedes exist in practice and are the oracle axis
+of the scenario matrix (:mod:`repro.scenarios`):
+
+* :class:`NoisyOracle` — answers flipped uniformly at random;
+* :class:`ClassConditionalNoisyOracle` — asymmetric mistakes (different
+  false-positive and false-negative rates), the "biased annotator";
+* :class:`AbstainingOracle` — refuses to answer some queries, so the loop
+  receives fewer labels than it paid for.
+
+Wrapping oracles delegate to their base oracle through
+:meth:`LabelingOracle.peek`, the sanctioned hook that answers without
+counting a query, so oracles compose (e.g. an abstaining annotator that is
+also noisy) without reaching into each other's private methods.
 """
 
 from __future__ import annotations
@@ -11,9 +23,12 @@ import abc
 
 import numpy as np
 
-from repro._rng import RandomState, ensure_rng
+from repro._rng import RandomState, ensure_rng, spawn_rng
 from repro.data.dataset import EMDataset
 from repro.exceptions import OracleError
+
+#: Sentinel label returned by an oracle that declines to answer a query.
+ABSTAIN = -1
 
 
 class LabelingOracle(abc.ABC):
@@ -26,14 +41,35 @@ class LabelingOracle(abc.ABC):
     def _label(self, pair_index: int) -> int:
         """Return the label for ``pair_index`` (without bookkeeping)."""
 
+    def peek(self, pair_index: int) -> int:
+        """Answer without counting a query.
+
+        This is the delegation hook wrapping oracles use: a wrapper counts
+        the query against *itself* and obtains the underlying answer here, so
+        stacking wrappers never double-counts ``num_queries`` and never
+        depends on another oracle's private methods.
+        """
+        return self._label(pair_index)
+
     def query(self, pair_index: int) -> int:
         """Label a single pair, counting the query."""
         self.num_queries += 1
         return self._label(pair_index)
 
     def query_many(self, pair_indices: list[int] | np.ndarray) -> dict[int, int]:
-        """Label many pairs at once; returns index → label."""
-        return {int(index): self.query(int(index)) for index in pair_indices}
+        """Label many pairs at once; returns index → label.
+
+        Duplicate indices are collapsed *before* querying, so every pair is
+        asked (and counted against ``num_queries``) exactly once — previously
+        duplicates were each counted as a query while the returned dict could
+        only hold one entry per index.  Pairs the oracle abstains on
+        (:data:`ABSTAIN`) are omitted from the result but still count as
+        queries: the annotator was asked.
+        """
+        unique_indices = dict.fromkeys(int(index) for index in pair_indices)
+        answers = {index: self.query(index) for index in unique_indices}
+        return {index: label for index, label in answers.items()
+                if label != ABSTAIN}
 
 
 class PerfectOracle(LabelingOracle):
@@ -55,23 +91,146 @@ class PerfectOracle(LabelingOracle):
 
 
 class NoisyOracle(LabelingOracle):
-    """A perfect oracle whose answers are flipped with a fixed probability.
+    """An oracle whose answers are flipped with a fixed probability.
 
     Section 3.6 notes that real annotators are biased; this oracle lets the
     experiments quantify the sensitivity of each selector to label noise.
+    The flip is drawn per *query*, modelling an inconsistent annotator:
+    asking the same pair twice may yield different answers.
+
+    Parameters
+    ----------
+    dataset:
+        Benchmark whose gold labels the default base oracle answers with.
+    flip_probability:
+        Probability that any single answer is flipped.
+    random_state:
+        Seed or generator for the flip draws.
+    base:
+        Oracle supplying the unflipped answers (defaults to a
+        :class:`PerfectOracle` over ``dataset``); wrapping a non-perfect base
+        composes noise models.
     """
 
     def __init__(self, dataset: EMDataset, flip_probability: float = 0.05,
-                 random_state: RandomState = None) -> None:
+                 random_state: RandomState = None,
+                 base: LabelingOracle | None = None) -> None:
         super().__init__()
         if not 0.0 <= flip_probability <= 1.0:
             raise OracleError("flip_probability must be in [0, 1]")
-        self._base = PerfectOracle(dataset)
+        self._base = base if base is not None else PerfectOracle(dataset)
         self.flip_probability = flip_probability
-        self._rng = ensure_rng(random_state)
+        self._rng, = spawn_rng(ensure_rng(random_state), 1)
 
     def _label(self, pair_index: int) -> int:
-        label = self._base._label(pair_index)
+        label = self._base.peek(pair_index)
+        if label == ABSTAIN:
+            return ABSTAIN
         if self._rng.random() < self.flip_probability:
             return 1 - label
         return label
+
+
+class ClassConditionalNoisyOracle(LabelingOracle):
+    """An annotator whose error rate depends on the true class.
+
+    Real annotators rarely err symmetrically: merging two near-identical
+    product variants (a false positive) is a different mistake from missing a
+    heavily corrupted true match (a false negative).  The flip decision is
+    drawn *per pair* at construction from two independent child generators
+    (one per class, derived with :func:`repro._rng.spawn_rng`), so the oracle
+    is deterministic: the same pair always receives the same answer, no
+    matter how often or in which order it is queried.
+
+    Parameters
+    ----------
+    dataset:
+        Benchmark whose gold labels are perturbed.
+    false_positive_rate:
+        Probability that a true non-match is reported as a match.
+    false_negative_rate:
+        Probability that a true match is reported as a non-match.
+    random_state:
+        Seed or generator for the per-pair flip masks.
+    """
+
+    def __init__(self, dataset: EMDataset, false_positive_rate: float = 0.1,
+                 false_negative_rate: float = 0.1,
+                 random_state: RandomState = None) -> None:
+        super().__init__()
+        for name, rate in (("false_positive_rate", false_positive_rate),
+                           ("false_negative_rate", false_negative_rate)):
+            if not 0.0 <= rate <= 1.0:
+                raise OracleError(f"{name} must be in [0, 1]")
+        self._labels = dataset.pairs.labels()
+        if np.any(self._labels < 0):
+            raise OracleError(
+                f"Dataset {dataset.name!r} has unlabeled pairs; a "
+                "class-conditional oracle requires gold labels")
+        self.false_positive_rate = false_positive_rate
+        self.false_negative_rate = false_negative_rate
+        positive_rng, negative_rng = spawn_rng(ensure_rng(random_state), 2)
+        positives = self._labels == 1
+        flip = np.where(positives,
+                        positive_rng.random(len(self._labels)) < false_negative_rate,
+                        negative_rng.random(len(self._labels)) < false_positive_rate)
+        self._answers = np.where(flip, 1 - self._labels, self._labels)
+
+    def _label(self, pair_index: int) -> int:
+        if not 0 <= pair_index < len(self._answers):
+            raise OracleError(f"Pair index {pair_index} out of range")
+        return int(self._answers[pair_index])
+
+
+class AbstainingOracle(LabelingOracle):
+    """An annotator who declines to answer a fixed subset of the pairs.
+
+    Crowd workers skip examples they find ambiguous.  Which pairs are skipped
+    is decided *per pair* at construction (via a child generator derived with
+    :func:`repro._rng.spawn_rng`), so abstention is consistent: a pair the
+    annotator refuses once is refused forever, and the active-learning loop
+    receives fewer labels than its budget paid for on exactly those pairs.
+
+    Parameters
+    ----------
+    dataset:
+        Benchmark the default base oracle answers over.
+    abstain_probability:
+        Fraction of pairs the annotator declines.
+    random_state:
+        Seed or generator for the abstention mask.
+    base:
+        Oracle answering the non-abstained queries (defaults to a
+        :class:`PerfectOracle` over ``dataset``).
+    """
+
+    def __init__(self, dataset: EMDataset, abstain_probability: float = 0.1,
+                 random_state: RandomState = None,
+                 base: LabelingOracle | None = None) -> None:
+        super().__init__()
+        if not 0.0 <= abstain_probability <= 1.0:
+            raise OracleError("abstain_probability must be in [0, 1]")
+        self._base = base if base is not None else PerfectOracle(dataset)
+        self.abstain_probability = abstain_probability
+        self.num_abstentions = 0
+        mask_rng, = spawn_rng(ensure_rng(random_state), 1)
+        self._abstains = mask_rng.random(len(dataset.pairs)) < abstain_probability
+
+    def query(self, pair_index: int) -> int:
+        """Label a single pair, counting the query and any billed abstention.
+
+        The abstention counter lives here (not in ``_label``) so that
+        :meth:`peek` stays side-effect free, as the delegation contract
+        promises: only *billed* refusals count.
+        """
+        label = super().query(pair_index)
+        if label == ABSTAIN:
+            self.num_abstentions += 1
+        return label
+
+    def _label(self, pair_index: int) -> int:
+        if not 0 <= pair_index < len(self._abstains):
+            raise OracleError(f"Pair index {pair_index} out of range")
+        if self._abstains[pair_index]:
+            return ABSTAIN
+        return self._base.peek(pair_index)

@@ -9,6 +9,8 @@ Exposes the most common workflows without writing Python::
     python -m repro export --dataset wdc_cameras --output ./wdc_cameras_csv
     python -m repro experiments --scale tiny --jobs 4 --store ./artifacts \
         --figure 5 --table 5                       # (parallel, resumable) harness
+    python -m repro scenarios --scale tiny --jobs 4 --store ./artifacts \
+        --datasets amazon_google --scenarios perfect,noisy-0.1,abstaining
 """
 
 from __future__ import annotations
@@ -41,6 +43,7 @@ from repro.experiments.engine import (
 from repro.experiments.store import ArtifactStore
 from repro.neural.featurizer import FeaturizerConfig
 from repro.neural.matcher import MatcherConfig
+from repro.scenarios import available_scenarios, get_scenario, resolve_scenarios
 
 _SELECTORS = {
     "battleship": lambda args: BattleshipSelector(alpha=args.alpha, beta=args.beta),
@@ -131,6 +134,28 @@ def build_parser() -> argparse.ArgumentParser:
     experiments.add_argument("--methods", nargs="+", default=None,
                              choices=ACTIVE_LEARNING_METHODS,
                              help="Restrict learning-curve sweeps to these methods")
+
+    scenarios = subparsers.add_parser(
+        "scenarios",
+        help="Sweep a robustness scenario grid through the job engine")
+    scenarios.add_argument("--list", action="store_true", dest="list_scenarios",
+                           help="List the registered scenarios and exit")
+    scenarios.add_argument("--scale", default="tiny", choices=available_scales())
+    scenarios.add_argument("--jobs", type=int, default=1,
+                           help="Worker processes (1 = serial execution)")
+    scenarios.add_argument("--store", default=None, metavar="DIR",
+                           help="Artifact directory; completed runs are "
+                                "persisted there and skipped on re-execution")
+    scenarios.add_argument("--datasets", nargs="+", default=None,
+                           choices=available_benchmarks(),
+                           help="Restrict the sweep to these benchmarks")
+    scenarios.add_argument("--scenarios", nargs="+", default=None,
+                           metavar="NAME[,NAME...]",
+                           help="Scenario names (space- or comma-separated; "
+                                "default: every registered scenario)")
+    scenarios.add_argument("--methods", nargs="+", default=None,
+                           choices=ACTIVE_LEARNING_METHODS,
+                           help="Restrict the sweep to these selectors")
 
     return parser
 
@@ -273,14 +298,47 @@ def _command_experiments(args: argparse.Namespace) -> int:
             print(format_table(tables.table6_alpha_ablation(settings, engine=engine),
                                title="Table 6 — α ablation"))
 
+    print(_engine_report_line(engine, args.store))
+    return 0
+
+
+def _engine_report_line(engine: ExperimentEngine, store_path: str | None) -> str:
+    """The harness' closing summary line (greppable by the CI smoke jobs)."""
     report = engine.total_report
-    store_note = f"  store={args.store}" if args.store else ""
-    # Memory hits (specs shared by several builders in this invocation) are
-    # reported separately — they are not store loads.
+    store_note = f"  store={store_path}" if store_path else ""
     memory_note = (f", {report.from_memory} reused in-memory"
                    if report.from_memory else "")
-    print(f"\nengine: {report.executed} runs executed, "
-          f"{report.from_store} loaded from store{memory_note}{store_note}")
+    return (f"\nengine: {report.executed} runs executed, "
+            f"{report.from_store} loaded from store{memory_note}{store_note}")
+
+
+def _command_scenarios(args: argparse.Namespace) -> int:
+    from repro.experiments import robustness
+
+    if args.list_scenarios:
+        rows = [get_scenario(name).as_row() for name in available_scenarios()]
+        print(format_table(rows, title="Registered scenarios"))
+        return 0
+
+    scenarios = resolve_scenarios(args.scenarios)
+    settings = default_settings(
+        args.scale, datasets=tuple(args.datasets) if args.datasets else None)
+    executor = (SerialExecutor() if args.jobs == 1
+                else ParallelExecutor(jobs=args.jobs))
+    store = ArtifactStore(args.store) if args.store else None
+    engine = ExperimentEngine(settings, executor=executor, store=store)
+    methods = tuple(args.methods) if args.methods else ACTIVE_LEARNING_METHODS
+
+    curves = robustness.robustness_curves(
+        settings, dataset_names=settings.datasets, scenarios=scenarios,
+        methods=methods, engine=engine)
+    print(format_table(robustness.robustness_rows(curves),
+                       title="Robustness — F1 per scenario and selector"))
+    sensitivity = robustness.noise_sensitivity_rows(curves)
+    if sensitivity:
+        print(format_table(sensitivity,
+                           title="Robustness — F1 drop vs. the perfect scenario"))
+    print(_engine_report_line(engine, args.store))
     return 0
 
 
@@ -290,6 +348,7 @@ _COMMANDS = {
     "full": _command_full,
     "export": _command_export,
     "experiments": _command_experiments,
+    "scenarios": _command_scenarios,
 }
 
 

@@ -25,6 +25,14 @@ from repro.datasets.registry import (
     benchmark_spec,
     load_benchmark,
 )
+from repro.datasets.transforms import (
+    POOL_TRANSFORMS,
+    PoolTransform,
+    apply_pool_transform,
+    available_pool_transforms,
+    positive_starved_pool,
+    skewed_cluster_pool,
+)
 
 __all__ = [
     "BenchmarkSpec",
@@ -33,10 +41,14 @@ __all__ = [
     "DIRTY_SOURCE",
     "EntityProfile",
     "PAPER_STATISTICS",
+    "POOL_TRANSFORMS",
     "PaperDatasetStatistics",
+    "PoolTransform",
     "abt_buy_catalog",
     "amazon_google_catalog",
+    "apply_pool_transform",
     "available_benchmarks",
+    "available_pool_transforms",
     "benchmark_spec",
     "build_benchmark",
     "corrupt_numeric",
@@ -45,6 +57,8 @@ __all__ = [
     "dblp_scholar_catalog",
     "introduce_typo",
     "load_benchmark",
+    "positive_starved_pool",
+    "skewed_cluster_pool",
     "walmart_amazon_catalog",
     "wdc_cameras_catalog",
     "wdc_shoes_catalog",

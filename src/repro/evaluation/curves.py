@@ -78,16 +78,24 @@ def auc_table(curves: dict[str, LearningCurve]) -> dict[str, float]:
 
 
 def average_curves(curves: Sequence[LearningCurve]) -> LearningCurve:
-    """Average several curves sharing the same labeled-count axis.
+    """Average several curves measured at the same checkpoints.
 
     The paper averages the battleship curves over three α values; this helper
-    performs that aggregation.
+    performs that aggregation.  Runs under a perfect oracle share the exact
+    labeled-count axis; an abstaining oracle makes the acquired-label counts
+    seed-dependent, so curves of equal *length* (the checkpoints are still
+    one per iteration) are aligned positionally and the labeled-count axis is
+    averaged along with the F1 values.  Curves with different checkpoint
+    counts cannot be aggregated meaningfully and still raise.
     """
     if not curves:
         return LearningCurve()
-    counts = curves[0].labeled_counts
+    length = len(curves[0].labeled_counts)
     for curve in curves[1:]:
-        if curve.labeled_counts != counts:
-            raise ValueError("All curves must share the same labeled-count axis")
+        if len(curve.labeled_counts) != length:
+            raise ValueError(
+                "All curves must record the same number of checkpoints")
+    counts = np.mean([curve.labeled_counts for curve in curves], axis=0)
     scores = np.mean([curve.f1_scores for curve in curves], axis=0)
-    return LearningCurve(labeled_counts=list(counts), f1_scores=[float(s) for s in scores])
+    return LearningCurve(labeled_counts=[int(round(c)) for c in counts],
+                         f1_scores=[float(s) for s in scores])

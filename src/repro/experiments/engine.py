@@ -30,6 +30,7 @@ from dataclasses import dataclass
 from typing import Callable, Iterable, Iterator, Mapping, Sequence
 
 from repro.active.loop import ActiveLearningLoop, ActiveLearningResult
+from repro.active.oracle import LabelingOracle
 from repro.active.selectors import (
     BattleshipConfig,
     BattleshipSelector,
@@ -44,6 +45,10 @@ from repro.datasets.registry import load_benchmark
 from repro.exceptions import ConfigurationError
 from repro.experiments.configs import ExperimentSettings
 from repro.experiments.store import ArtifactStore
+from repro.scenarios import Scenario, get_scenario
+
+#: Name of the scenario reproducing the paper's evaluation exactly.
+DEFAULT_SCENARIO = "perfect"
 
 #: Selector factory signature: ``(alpha, beta) -> Selector``.
 SelectorFactory = Callable[[float, float], Selector]
@@ -59,7 +64,7 @@ _METHOD_FACTORIES: dict[str, SelectorFactory] = {
 #: The active-learning methods compared throughout Section 5.
 ACTIVE_LEARNING_METHODS: tuple[str, ...] = tuple(_METHOD_FACTORIES)
 
-_DATASET_CACHE: dict[tuple[str, str, int], EMDataset] = {}
+_DATASET_CACHE: dict[tuple[str, str, int, str], EMDataset] = {}
 
 
 def method_factory(name: str) -> SelectorFactory:
@@ -72,12 +77,27 @@ def method_factory(name: str) -> SelectorFactory:
         ) from None
 
 
-def get_dataset(name: str, settings: ExperimentSettings) -> EMDataset:
-    """Load (and cache) the benchmark ``name`` at the settings' scale."""
-    key = (name, settings.scale.name, settings.base_random_seed)
+def get_dataset(name: str, settings: ExperimentSettings,
+                scenario: Scenario | None = None) -> EMDataset:
+    """Load (and cache) the benchmark ``name`` at the settings' scale.
+
+    With a ``scenario``, the benchmark is generated under the scenario's
+    corruption regime and pool skew.  The cache is keyed by the scenario's
+    *dataset* fingerprint, so scenarios differing only in their oracle model
+    share one cached benchmark, and the default scenario shares the cache
+    entry of scenario-less callers.
+    """
+    variant = scenario.dataset_fingerprint() if scenario is not None else ""
+    key = (name, settings.scale.name, settings.base_random_seed, variant)
     if key not in _DATASET_CACHE:
-        _DATASET_CACHE[key] = load_benchmark(name, scale=settings.scale,
-                                             random_state=settings.base_random_seed)
+        if variant:
+            _DATASET_CACHE[key] = scenario.build_dataset(
+                name, scale=settings.scale,
+                random_state=settings.base_random_seed)
+        else:
+            _DATASET_CACHE[key] = load_benchmark(
+                name, scale=settings.scale,
+                random_state=settings.base_random_seed)
     return _DATASET_CACHE[key]
 
 
@@ -122,7 +142,10 @@ class RunSpec:
     :meth:`fingerprint` keys the artifact store.  ``settings_hash`` binds the
     spec to the :class:`ExperimentSettings` it was enumerated under, so runs
     executed with different iteration counts or matcher hyper-parameters
-    never collide in the store.
+    never collide in the store.  ``scenario`` names the robustness scenario
+    (:mod:`repro.scenarios`) the run executes under; the store key includes
+    the scenario *definition's* fingerprint, so editing a scenario
+    invalidates exactly the artifacts it produced.
     """
 
     dataset: str
@@ -132,6 +155,7 @@ class RunSpec:
     beta: float
     weak_supervision: str
     settings_hash: str
+    scenario: str = DEFAULT_SCENARIO
 
     @classmethod
     def create(
@@ -143,8 +167,10 @@ class RunSpec:
         beta: float,
         weak_supervision: WeakSupervisionMode | str,
         settings: ExperimentSettings,
+        scenario: str = DEFAULT_SCENARIO,
     ) -> "RunSpec":
         """Build a spec, normalizing the mode and fingerprinting ``settings``."""
+        scenario_name = get_scenario(scenario).name  # validate before freezing
         return cls(
             dataset=dataset,
             method=method,
@@ -153,6 +179,7 @@ class RunSpec:
             beta=float(beta),
             weak_supervision=resolve_mode(weak_supervision).value,
             settings_hash=settings_fingerprint(settings),
+            scenario=scenario_name,
         )
 
     def to_dict(self) -> dict[str, object]:
@@ -170,12 +197,28 @@ class RunSpec:
             beta=float(payload["beta"]),
             weak_supervision=str(payload["weak_supervision"]),
             settings_hash=str(payload["settings_hash"]),
+            scenario=str(payload.get("scenario", DEFAULT_SCENARIO)),
         )
 
     def fingerprint(self) -> str:
-        """Content hash identifying this run in the artifact store."""
+        """Content hash identifying this run in the artifact store.
+
+        Besides the spec fields, the hash covers the referenced scenario's
+        definition fingerprint — a stored artifact stays valid only as long
+        as the scenario it ran under means the same thing.  Specs for the
+        default (perfect) scenario hash the pre-scenario payload shape, so
+        artifact stores written before the scenario axis existed resume
+        without re-executing anything; the built-in perfect scenario is
+        definitionally immutable, so no invalidation is lost.
+        """
+        payload = self.to_dict()
+        if self.scenario == DEFAULT_SCENARIO:
+            del payload["scenario"]
+        else:
+            payload["scenario_fingerprint"] = (
+                get_scenario(self.scenario).fingerprint())
         return hashlib.sha256(
-            _canonical_json(self.to_dict()).encode("utf-8")).hexdigest()[:24]
+            _canonical_json(payload).encode("utf-8")).hexdigest()[:24]
 
 
 def run_single(
@@ -184,11 +227,17 @@ def run_single(
     settings: ExperimentSettings,
     random_state: int,
     weak_supervision: WeakSupervisionMode | str = WeakSupervisionMode.SELECTOR,
+    oracle: LabelingOracle | None = None,
 ) -> ActiveLearningResult:
-    """One active-learning run with the settings' iteration/budget counts."""
+    """One active-learning run with the settings' iteration/budget counts.
+
+    ``oracle`` overrides the loop's default perfect oracle (the scenario
+    subsystem builds noisy/abstaining annotators here).
+    """
     loop = ActiveLearningLoop(
         dataset=dataset,
         selector=selector,
+        oracle=oracle,
         matcher_config=settings.matcher_config,
         featurizer_config=settings.featurizer_config,
         iterations=settings.iterations,
@@ -202,9 +251,12 @@ def run_single(
 
 def execute_spec(spec: RunSpec, settings: ExperimentSettings) -> ActiveLearningResult:
     """Execute one :class:`RunSpec` under ``settings``."""
+    scenario = get_scenario(spec.scenario)
     selector = method_factory(spec.method)(spec.alpha, spec.beta)
-    dataset = get_dataset(spec.dataset, settings)
-    return run_single(dataset, selector, settings, spec.seed, spec.weak_supervision)
+    dataset = get_dataset(spec.dataset, settings, scenario)
+    oracle = scenario.build_oracle(dataset, spec.seed)
+    return run_single(dataset, selector, settings, spec.seed,
+                      spec.weak_supervision, oracle=oracle)
 
 
 # --------------------------------------------------------------------------- #
@@ -228,15 +280,25 @@ class SerialExecutor:
 _WORKER_SETTINGS: ExperimentSettings | None = None
 
 
-def _init_worker(settings: ExperimentSettings) -> None:
+def _init_worker(settings: ExperimentSettings,
+                 scenarios: tuple[Scenario, ...] = ()) -> None:
     """Pool initializer: hand each worker the settings its jobs run under.
 
     Workers keep their own dataset cache (``get_dataset`` fills it on the
     first job touching a benchmark), so loading is amortized per worker, not
     per job, without eagerly loading benchmarks a worker never sees.
+
+    ``scenarios`` carries the definitions of every scenario the batch
+    references: under a ``spawn``/``forkserver`` start method the worker's
+    registry re-imports with only the built-ins, so user-registered
+    scenarios must travel with the pool (Scenario is frozen and picklable by
+    design).
     """
     global _WORKER_SETTINGS
     _WORKER_SETTINGS = settings
+    from repro.scenarios import register_scenario
+    for scenario in scenarios:
+        register_scenario(scenario, replace=True)
 
 
 def _execute_in_worker(spec: RunSpec) -> ActiveLearningResult:
@@ -273,10 +335,13 @@ class ParallelExecutor:
         if self.jobs == 1 or len(specs) == 1:
             yield from SerialExecutor().execute(specs, settings)
             return
+        batch_scenarios = tuple(
+            {spec.scenario: get_scenario(spec.scenario) for spec in specs}
+            .values())
         with ProcessPoolExecutor(
             max_workers=min(self.jobs, len(specs)),
             initializer=_init_worker,
-            initargs=(settings,),
+            initargs=(settings, batch_scenarios),
         ) as pool:
             futures = {pool.submit(_execute_in_worker, spec): spec
                        for spec in specs}

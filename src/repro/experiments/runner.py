@@ -20,6 +20,7 @@ from repro.exceptions import ConfigurationError
 from repro.experiments.configs import ExperimentSettings
 from repro.experiments.engine import (
     ACTIVE_LEARNING_METHODS,
+    DEFAULT_SCENARIO,
     ExperimentEngine,
     RunSpec,
     SelectorFactory,
@@ -80,11 +81,14 @@ def enumerate_run_specs(
     beta: float | None = None,
     alphas: tuple[float, ...] | None = None,
     weak_supervision: WeakSupervisionMode | str = WeakSupervisionMode.SELECTOR,
+    scenario: str = DEFAULT_SCENARIO,
 ) -> list[RunSpec]:
     """The job grid behind one ``run_method`` call (seeds × α values).
 
     The battleship method is averaged over ``alphas`` (the paper averages
     α ∈ {0.25, 0.5, 0.75}); other methods run a single nominal α.
+    ``scenario`` selects the robustness scenario every enumerated run
+    executes under (the paper's perfect setting by default).
     """
     method_factory(method)  # validate the name before enumerating
     beta = settings.beta if beta is None else beta
@@ -92,7 +96,7 @@ def enumerate_run_specs(
         settings.alphas if method == "battleship" else (0.5,))
     return [
         RunSpec.create(dataset_name, method, seed, alpha, beta,
-                       weak_supervision, settings)
+                       weak_supervision, settings, scenario=scenario)
         for seed in settings.seeds()
         for alpha in alpha_values
     ]

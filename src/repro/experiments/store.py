@@ -18,6 +18,7 @@ from __future__ import annotations
 
 import json
 import os
+import warnings
 from pathlib import Path
 from typing import TYPE_CHECKING, Iterator
 
@@ -55,13 +56,39 @@ class ArtifactStore:
                 f"the stale artifacts) to re-execute these runs")
         return payload
 
+    def _load(self, path: Path) -> tuple[dict[str, object], ActiveLearningResult] | None:
+        """Parse one artifact into ``(payload, result)``, tolerating damage.
+
+        A truncated or otherwise corrupt artifact (killed process, full disk,
+        manual edit) is reported with a warning and treated as absent, so a
+        resumed sweep re-executes that one run instead of crashing.  An
+        explicit format-version mismatch still raises: those artifacts are
+        *valid* files the current code genuinely cannot interpret, and
+        silently re-executing a whole store would be far more expensive than
+        the instructed fix.
+        """
+        try:
+            payload = self._read_payload(path)
+            if not isinstance(payload.get("spec"), dict):
+                raise KeyError("spec")
+            return payload, ActiveLearningResult.from_dict(payload["result"])
+        except ConfigurationError:
+            raise
+        except (json.JSONDecodeError, UnicodeDecodeError, KeyError, TypeError,
+                ValueError) as error:
+            warnings.warn(
+                f"Skipping corrupt artifact {path} ({error.__class__.__name__}: "
+                f"{error}); the run will be re-executed",
+                stacklevel=3)
+            return None
+
     def get(self, spec: "RunSpec") -> ActiveLearningResult | None:
-        """Load the stored result for ``spec``, or ``None`` if absent."""
+        """Load the stored result for ``spec``, or ``None`` if absent/corrupt."""
         path = self.path_for(spec)
         if not path.exists():
             return None
-        payload = self._read_payload(path)
-        return ActiveLearningResult.from_dict(payload["result"])
+        loaded = self._load(path)
+        return loaded[1] if loaded is not None else None
 
     def put(self, spec: "RunSpec", result: ActiveLearningResult) -> Path:
         """Persist ``result`` under ``spec``'s fingerprint (atomically)."""
@@ -86,8 +113,12 @@ class ArtifactStore:
         """Iterate ``(spec_dict, result)`` over every stored artifact.
 
         Yields the raw spec dictionary (not a RunSpec) so re-aggregation
-        scripts can filter without importing the engine.
+        scripts can filter without importing the engine.  Corrupt artifacts
+        are skipped with a warning (see :meth:`get`).
         """
         for path in sorted(self.root.glob("*.json")):
-            payload = self._read_payload(path)
-            yield payload["spec"], ActiveLearningResult.from_dict(payload["result"])
+            loaded = self._load(path)
+            if loaded is None:
+                continue
+            payload, result = loaded
+            yield payload["spec"], result

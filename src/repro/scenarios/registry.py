@@ -1,0 +1,148 @@
+"""Declarative registry of built-in scenarios.
+
+The built-ins cover the three axes independently (noise-only, corruption-only,
+skew-only scenarios) so a robustness sweep can attribute an F1 drop to one
+cause, plus one compound "worst-case" scenario.  User code can register
+additional scenarios with :func:`register_scenario`; registration is
+name-keyed and collision-checked, and must happen before specs referencing
+the scenario are enumerated or resumed (the engine resolves scenarios by
+name).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.datasets.corruptions import CLEAN_SOURCE, DIRTY_SOURCE
+from repro.exceptions import ConfigurationError
+from repro.scenarios.base import CorruptionRegime, OracleModel, Scenario
+
+#: Corruption regimes referenced by the built-in scenarios.
+BENCHMARK_REGIME = CorruptionRegime()
+CLEAN_REGIME = CorruptionRegime(name="clean", left=CLEAN_SOURCE,
+                                right=CLEAN_SOURCE)
+DIRTY_REGIME = CorruptionRegime(name="dirty", left=DIRTY_SOURCE,
+                                right=DIRTY_SOURCE)
+VERY_DIRTY_REGIME = CorruptionRegime(name="very-dirty", left=DIRTY_SOURCE,
+                                     right=DIRTY_SOURCE, scale_factor=1.5)
+
+_BUILTIN_SCENARIOS: tuple[Scenario, ...] = (
+    Scenario(
+        name="perfect",
+        description="The paper's setting: perfect oracle, benchmark corruption"),
+    Scenario(
+        name="noisy-0.1",
+        oracle=OracleModel(kind="noisy", flip_probability=0.1),
+        description="Uniform 10% label noise"),
+    Scenario(
+        name="noisy-0.3",
+        oracle=OracleModel(kind="noisy", flip_probability=0.3),
+        description="Uniform 30% label noise"),
+    Scenario(
+        name="over-merging",
+        oracle=OracleModel(kind="class-conditional",
+                           false_positive_rate=0.25, false_negative_rate=0.02),
+        description="Annotator merges look-alikes: 25% FP / 2% FN"),
+    Scenario(
+        name="under-merging",
+        oracle=OracleModel(kind="class-conditional",
+                           false_positive_rate=0.02, false_negative_rate=0.25),
+        description="Annotator misses hard matches: 2% FP / 25% FN"),
+    Scenario(
+        name="abstaining",
+        oracle=OracleModel(kind="abstaining", abstain_probability=0.2),
+        description="Annotator declines 20% of the pairs"),
+    Scenario(
+        name="clean",
+        corruption=CLEAN_REGIME,
+        description="Both sources curated (clean corruption profile)"),
+    Scenario(
+        name="dirty",
+        corruption=DIRTY_REGIME,
+        description="Both sources crawled (dirty corruption profile)"),
+    Scenario(
+        name="very-dirty",
+        corruption=VERY_DIRTY_REGIME,
+        description="Dirty profile scaled 1.5x on both sources"),
+    Scenario(
+        name="skewed-cluster",
+        pool_skew="skewed-cluster",
+        description="Pool dominated by a minority of entity clusters"),
+    Scenario(
+        name="positive-starved",
+        pool_skew="positive-starved",
+        description="Pool keeps only a quarter of its matches"),
+    Scenario(
+        name="hostile",
+        oracle=OracleModel(kind="noisy", flip_probability=0.1),
+        corruption=VERY_DIRTY_REGIME,
+        pool_skew="positive-starved",
+        description="Compound worst case: noise + very dirty + starved pool"),
+)
+
+_SCENARIOS: dict[str, Scenario] = {}
+
+
+def register_scenario(scenario: Scenario, replace: bool = False) -> Scenario:
+    """Add ``scenario`` to the registry (name-keyed).
+
+    Re-registering a name raises unless ``replace`` is set — two different
+    definitions behind one name would silently alias distinct runs.
+    """
+    existing = _SCENARIOS.get(scenario.name)
+    if existing is not None and not replace:
+        if existing == scenario:
+            return existing
+        raise ConfigurationError(
+            f"Scenario {scenario.name!r} is already registered with a "
+            "different definition; pass replace=True to overwrite")
+    _SCENARIOS[scenario.name] = scenario
+    return scenario
+
+
+for _scenario in _BUILTIN_SCENARIOS:
+    register_scenario(_scenario)
+
+
+def available_scenarios() -> tuple[str, ...]:
+    """Names of every registered scenario (built-ins first)."""
+    return tuple(_SCENARIOS)
+
+
+def get_scenario(name: str) -> Scenario:
+    """Look up a scenario by name."""
+    key = str(name).strip()
+    try:
+        return _SCENARIOS[key]
+    except KeyError:
+        raise ConfigurationError(
+            f"Unknown scenario {name!r}; available: {sorted(_SCENARIOS)}"
+        ) from None
+
+
+def resolve_scenarios(
+    names: str | Scenario | Iterable[str | Scenario] | None,
+) -> tuple[Scenario, ...]:
+    """Normalize a scenario selection into Scenario objects.
+
+    Accepts a single comma-separated string (the CLI form,
+    ``"perfect,noisy-0.1"``), :class:`Scenario` objects (used as given), an
+    iterable mixing both (names themselves possibly comma-separated), or
+    ``None`` for every registered scenario.  Order is preserved and
+    duplicates (by name) are dropped.
+    """
+    if names is None:
+        return tuple(_SCENARIOS.values())
+    if isinstance(names, (str, Scenario)):
+        names = [names]
+    flattened: list[Scenario] = []
+    for entry in names:
+        if isinstance(entry, Scenario):
+            flattened.append(entry)
+            continue
+        flattened.extend(get_scenario(part.strip())
+                         for part in str(entry).split(",") if part.strip())
+    if not flattened:
+        raise ConfigurationError("No scenario names given")
+    unique = {scenario.name: scenario for scenario in flattened}
+    return tuple(unique.values())

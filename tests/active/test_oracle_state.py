@@ -3,7 +3,13 @@
 import numpy as np
 import pytest
 
-from repro.active.oracle import NoisyOracle, PerfectOracle
+from repro.active.oracle import (
+    ABSTAIN,
+    AbstainingOracle,
+    ClassConditionalNoisyOracle,
+    NoisyOracle,
+    PerfectOracle,
+)
 from repro.active.state import ActiveLearningState
 from repro.exceptions import BudgetError, OracleError
 
@@ -30,6 +36,20 @@ class TestPerfectOracle:
         result = oracle.query_many(np.array([3, 4]))
         assert set(result) == {3, 4}
 
+    def test_query_many_counts_duplicates_once(self, tiny_dataset):
+        # Regression: duplicate indices used to be queried (and billed)
+        # individually while the result dict could only keep one entry.
+        oracle = PerfectOracle(tiny_dataset)
+        result = oracle.query_many([3, 3, 4, 3, 4])
+        assert set(result) == {3, 4}
+        assert oracle.num_queries == 2
+
+    def test_peek_does_not_count_a_query(self, tiny_dataset):
+        oracle = PerfectOracle(tiny_dataset)
+        label = oracle.peek(0)
+        assert label == int(tiny_dataset.labels()[0])
+        assert oracle.num_queries == 0
+
 
 class TestNoisyOracle:
     def test_zero_noise_equals_perfect(self, tiny_dataset):
@@ -55,6 +75,137 @@ class TestNoisyOracle:
     def test_invalid_probability(self, tiny_dataset):
         with pytest.raises(OracleError):
             NoisyOracle(tiny_dataset, flip_probability=1.5)
+
+    def test_delegates_through_peek_not_private_access(self, tiny_dataset):
+        # Regression: the wrapper used to call the base's private _label;
+        # the sanctioned hook keeps base bookkeeping untouched and lets
+        # arbitrary bases compose.
+        base = PerfectOracle(tiny_dataset)
+        noisy = NoisyOracle(tiny_dataset, flip_probability=0.0, base=base)
+        noisy.query_many(range(10))
+        assert noisy.num_queries == 10
+        assert base.num_queries == 0
+
+    def test_composes_over_custom_base(self, tiny_dataset):
+        class ConstantOracle(PerfectOracle):
+            def _label(self, pair_index: int) -> int:
+                return 1
+
+        noisy = NoisyOracle(tiny_dataset, flip_probability=1.0, random_state=0,
+                            base=ConstantOracle(tiny_dataset))
+        assert all(noisy.query(i) == 0 for i in range(10))
+
+
+class TestClassConditionalNoisyOracle:
+    def test_one_sided_false_positives(self, tiny_dataset):
+        oracle = ClassConditionalNoisyOracle(
+            tiny_dataset, false_positive_rate=1.0, false_negative_rate=0.0,
+            random_state=0)
+        # Every negative is flipped up, every positive kept: all answers 1.
+        assert all(oracle.query(index) == 1 for index in range(40))
+
+    def test_one_sided_false_negatives(self, tiny_dataset):
+        oracle = ClassConditionalNoisyOracle(
+            tiny_dataset, false_positive_rate=0.0, false_negative_rate=1.0,
+            random_state=0)
+        # Every positive is flipped down, every negative kept: all answers 0.
+        assert all(oracle.query(index) == 0 for index in range(40))
+
+    def test_answers_are_per_pair_deterministic(self, tiny_dataset):
+        oracle = ClassConditionalNoisyOracle(
+            tiny_dataset, false_positive_rate=0.3, false_negative_rate=0.3,
+            random_state=5)
+        first = [oracle.query(i) for i in range(30)]
+        again = [oracle.query(i) for i in reversed(range(30))]
+        assert first == list(reversed(again))
+
+    def test_invalid_rate_rejected(self, tiny_dataset):
+        with pytest.raises(OracleError):
+            ClassConditionalNoisyOracle(tiny_dataset, false_positive_rate=-0.1)
+
+    def test_out_of_range_raises(self, tiny_dataset):
+        oracle = ClassConditionalNoisyOracle(tiny_dataset, random_state=0)
+        with pytest.raises(OracleError):
+            oracle.query(len(tiny_dataset.pairs) + 5)
+
+
+class TestAbstainingOracle:
+    def test_zero_abstention_equals_perfect(self, tiny_dataset):
+        oracle = AbstainingOracle(tiny_dataset, abstain_probability=0.0,
+                                  random_state=0)
+        perfect = PerfectOracle(tiny_dataset)
+        for index in range(20):
+            assert oracle.query(index) == perfect.query(index)
+
+    def test_full_abstention_answers_nothing(self, tiny_dataset):
+        oracle = AbstainingOracle(tiny_dataset, abstain_probability=1.0,
+                                  random_state=0)
+        result = oracle.query_many(range(10))
+        assert result == {}
+        # The annotator was still asked ten times.
+        assert oracle.num_queries == 10
+        assert oracle.num_abstentions == 10
+
+    def test_abstentions_are_per_pair_consistent(self, tiny_dataset):
+        oracle = AbstainingOracle(tiny_dataset, abstain_probability=0.4,
+                                  random_state=3)
+        first = {i: oracle.peek(i) for i in range(50)}
+        second = {i: oracle.peek(i) for i in range(50)}
+        assert first == second
+        abstained = [i for i, label in first.items() if label == ABSTAIN]
+        assert 5 <= len(abstained) <= 35
+        # peek is the side-effect-free hook: only billed refusals count.
+        assert oracle.num_abstentions == 0
+        assert oracle.num_queries == 0
+
+    def test_only_billed_abstentions_are_counted(self, tiny_dataset):
+        oracle = AbstainingOracle(tiny_dataset, abstain_probability=0.4,
+                                  random_state=3)
+        answered = oracle.query_many(range(50))
+        assert oracle.num_queries == 50
+        assert oracle.num_abstentions == 50 - len(answered)
+
+    def test_composes_with_noisy_base(self, tiny_dataset):
+        base = NoisyOracle(tiny_dataset, flip_probability=1.0, random_state=0)
+        oracle = AbstainingOracle(tiny_dataset, abstain_probability=0.0,
+                                  random_state=0, base=base)
+        perfect = PerfectOracle(tiny_dataset)
+        for index in range(10):
+            assert oracle.query(index) == 1 - perfect.query(index)
+        assert base.num_queries == 0
+
+    def test_invalid_probability(self, tiny_dataset):
+        with pytest.raises(OracleError):
+            AbstainingOracle(tiny_dataset, abstain_probability=-0.5)
+
+    def test_loop_never_requeries_refused_pairs(self, tiny_dataset,
+                                                fast_matcher_config,
+                                                small_featurizer_config):
+        from repro.active.loop import ActiveLearningLoop
+        from repro.active.selectors import EntropySelector
+
+        class RecordingAbstainer(AbstainingOracle):
+            def __init__(self, *args, **kwargs):
+                super().__init__(*args, **kwargs)
+                self.query_log: list[int] = []
+
+            def query(self, pair_index: int) -> int:
+                self.query_log.append(pair_index)
+                return super().query(pair_index)
+
+        oracle = RecordingAbstainer(tiny_dataset, abstain_probability=0.5,
+                                    random_state=11)
+        loop = ActiveLearningLoop(
+            dataset=tiny_dataset, selector=EntropySelector(), oracle=oracle,
+            matcher_config=fast_matcher_config,
+            featurizer_config=small_featurizer_config,
+            iterations=2, budget_per_iteration=8, seed_size=8,
+            weak_supervision="off", random_state=5)
+        loop.run()
+        # Abstention is per-pair consistent, so a refused pair must never be
+        # re-billed in a later iteration (a deterministic selector would
+        # otherwise re-select it forever).
+        assert len(oracle.query_log) == len(set(oracle.query_log))
 
 
 class TestActiveLearningState:

@@ -1,0 +1,79 @@
+"""Tests for the pool-skew transforms."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.transforms import (
+    apply_pool_transform,
+    available_pool_transforms,
+    positive_starved_pool,
+    skewed_cluster_pool,
+)
+from repro.exceptions import DatasetError
+
+
+class TestPositiveStarvedPool:
+    def test_starves_positives_keeps_negatives(self, tiny_dataset, rng):
+        skewed = positive_starved_pool(tiny_dataset, rng,
+                                       keep_positive_fraction=0.25)
+        original_labels = tiny_dataset.labels(tiny_dataset.train_indices)
+        skewed_labels = skewed.labels(skewed.train_indices)
+        assert int((skewed_labels == 0).sum()) == int((original_labels == 0).sum())
+        assert 2 <= int((skewed_labels == 1).sum()) < int((original_labels == 1).sum())
+
+    def test_validation_and_test_untouched(self, tiny_dataset, rng):
+        skewed = positive_starved_pool(tiny_dataset, rng)
+        np.testing.assert_array_equal(skewed.validation_indices,
+                                      tiny_dataset.validation_indices)
+        np.testing.assert_array_equal(skewed.test_indices,
+                                      tiny_dataset.test_indices)
+
+    def test_original_dataset_not_mutated(self, tiny_dataset, rng):
+        before = tiny_dataset.train_indices.copy()
+        positive_starved_pool(tiny_dataset, rng)
+        np.testing.assert_array_equal(tiny_dataset.train_indices, before)
+
+    def test_invalid_fraction_rejected(self, tiny_dataset, rng):
+        with pytest.raises(DatasetError):
+            positive_starved_pool(tiny_dataset, rng, keep_positive_fraction=1.5)
+
+
+class TestSkewedClusterPool:
+    def test_shrinks_pool_to_train_subset(self, tiny_dataset, rng):
+        skewed = skewed_cluster_pool(tiny_dataset, rng)
+        original = set(int(i) for i in tiny_dataset.train_indices)
+        kept = set(int(i) for i in skewed.train_indices)
+        assert kept <= original
+        assert len(kept) < len(original)
+
+    def test_both_classes_survive(self, tiny_dataset, rng):
+        skewed = skewed_cluster_pool(tiny_dataset, rng,
+                                     dominant_fraction=0.1,
+                                     minority_keep_rate=0.0)
+        labels = skewed.labels(skewed.train_indices)
+        assert (labels == 1).any() and (labels == 0).any()
+
+    def test_deterministic_under_seed(self, tiny_dataset):
+        first = skewed_cluster_pool(tiny_dataset, np.random.default_rng(9))
+        second = skewed_cluster_pool(tiny_dataset, np.random.default_rng(9))
+        np.testing.assert_array_equal(first.train_indices, second.train_indices)
+
+    def test_invalid_parameters_rejected(self, tiny_dataset, rng):
+        with pytest.raises(DatasetError):
+            skewed_cluster_pool(tiny_dataset, rng, dominant_fraction=0.0)
+        with pytest.raises(DatasetError):
+            skewed_cluster_pool(tiny_dataset, rng, minority_keep_rate=2.0)
+
+
+class TestRegistry:
+    def test_available_transforms(self):
+        assert set(available_pool_transforms()) == {
+            "skewed-cluster", "positive-starved"}
+
+    def test_apply_by_name(self, tiny_dataset, rng):
+        skewed = apply_pool_transform("positive-starved", tiny_dataset, rng)
+        assert len(skewed.train_indices) < len(tiny_dataset.train_indices)
+
+    def test_unknown_name_rejected(self, tiny_dataset, rng):
+        with pytest.raises(DatasetError):
+            apply_pool_transform("mystery", tiny_dataset, rng)

@@ -128,9 +128,24 @@ class TestLearningCurve:
         averaged = average_curves([a, b])
         assert averaged.f1_scores == [pytest.approx(0.3), pytest.approx(0.5)]
 
-    def test_average_curves_mismatched_axis(self):
+    def test_average_curves_shared_axis_is_preserved(self):
         a = LearningCurve([1, 2], [0.2, 0.4])
-        b = LearningCurve([1, 3], [0.4, 0.6])
+        b = LearningCurve([1, 2], [0.4, 0.6])
+        assert average_curves([a, b]).labeled_counts == [1, 2]
+
+    def test_average_curves_aligns_shifted_axes_positionally(self):
+        # An abstaining oracle makes acquired-label counts seed-dependent;
+        # equal-length curves are aligned per checkpoint and both axes
+        # averaged.
+        a = LearningCurve([8, 16], [0.2, 0.4])
+        b = LearningCurve([6, 12], [0.4, 0.6])
+        averaged = average_curves([a, b])
+        assert averaged.labeled_counts == [7, 14]
+        assert averaged.f1_scores == [pytest.approx(0.3), pytest.approx(0.5)]
+
+    def test_average_curves_mismatched_length_rejected(self):
+        a = LearningCurve([1, 2], [0.2, 0.4])
+        b = LearningCurve([1, 2, 3], [0.4, 0.6, 0.8])
         with pytest.raises(ValueError):
             average_curves([a, b])
 

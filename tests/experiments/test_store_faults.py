@@ -1,0 +1,124 @@
+"""Fault-path tests for the artifact store.
+
+A resumable sweep must survive a damaged store: a truncated or corrupt
+artifact (killed process, full disk, manual edit) is worth one warning and
+one re-executed run — never a crashed resume.
+"""
+
+import json
+
+import pytest
+
+from repro.active.loop import ActiveLearningResult, IterationRecord
+from repro.config import get_scale
+from repro.evaluation.metrics import MatchingMetrics
+from repro.exceptions import ConfigurationError
+from repro.experiments.configs import ExperimentSettings
+from repro.experiments.engine import ExperimentEngine, RunSpec
+from repro.experiments.runner import enumerate_run_specs
+from repro.experiments.store import ArtifactStore
+from repro.neural.featurizer import FeaturizerConfig
+from repro.neural.matcher import MatcherConfig
+
+
+@pytest.fixture(scope="module")
+def fast_settings() -> ExperimentSettings:
+    return ExperimentSettings(
+        scale=get_scale("tiny"),
+        datasets=("amazon_google",),
+        iterations=1,
+        budget_per_iteration=8,
+        seed_size=8,
+        num_seeds=1,
+        alphas=(0.5,),
+        beta=0.5,
+        matcher_config=MatcherConfig(hidden_dims=(24,), epochs=2, batch_size=16,
+                                     learning_rate=2e-3, random_state=0),
+        featurizer_config=FeaturizerConfig(hash_dim=32),
+        base_random_seed=7,
+    )
+
+
+def _result() -> ActiveLearningResult:
+    metrics = MatchingMetrics(precision=0.5, recall=0.5, f1=0.5, num_examples=10)
+    return ActiveLearningResult(
+        dataset_name="amazon_google", selector_name="random",
+        records=[IterationRecord(iteration=0, num_labeled=8, num_weak=0,
+                                 num_labeled_positives=4, test_metrics=metrics,
+                                 train_seconds=0.1, selection_seconds=0.1)])
+
+
+def _spec(settings) -> RunSpec:
+    return RunSpec.create("amazon_google", "random", 7, 0.5, 0.5,
+                          "selector", settings)
+
+
+class TestCorruptArtifacts:
+    def test_truncated_artifact_warns_and_reads_as_absent(self, tmp_path,
+                                                          fast_settings):
+        store = ArtifactStore(tmp_path / "store")
+        spec = _spec(fast_settings)
+        path = store.put(spec, _result())
+        path.write_text(path.read_text()[: len(path.read_text()) // 2])
+        with pytest.warns(UserWarning, match="corrupt artifact"):
+            assert store.get(spec) is None
+
+    def test_missing_result_key_warns(self, tmp_path, fast_settings):
+        store = ArtifactStore(tmp_path / "store")
+        spec = _spec(fast_settings)
+        path = store.put(spec, _result())
+        payload = json.loads(path.read_text())
+        del payload["result"]
+        path.write_text(json.dumps(payload))
+        with pytest.warns(UserWarning, match="corrupt artifact"):
+            assert store.get(spec) is None
+
+    def test_items_skips_corrupt_entries(self, tmp_path, fast_settings):
+        store = ArtifactStore(tmp_path / "store")
+        good_spec = _spec(fast_settings)
+        store.put(good_spec, _result())
+        bad_spec = RunSpec.create("amazon_google", "dal", 7, 0.5, 0.5,
+                                  "selector", fast_settings)
+        store.put(bad_spec, _result()).write_text("{not json")
+        with pytest.warns(UserWarning, match="corrupt artifact"):
+            entries = list(store.items())
+        assert len(entries) == 1
+        assert entries[0][0] == good_spec.to_dict()
+
+    def test_format_version_mismatch_still_raises(self, tmp_path,
+                                                  fast_settings):
+        store = ArtifactStore(tmp_path / "store")
+        spec = _spec(fast_settings)
+        path = store.put(spec, _result())
+        payload = json.loads(path.read_text())
+        payload["format_version"] = 999
+        path.write_text(json.dumps(payload))
+        with pytest.raises(ConfigurationError):
+            store.get(spec)
+
+    def test_resumed_sweep_reexecutes_only_the_corrupt_run(self, tmp_path,
+                                                           fast_settings):
+        """Acceptance: a damaged artifact costs one re-execution, not a crash."""
+        store_path = tmp_path / "store"
+        specs = (enumerate_run_specs("amazon_google", "random", fast_settings)
+                 + enumerate_run_specs("amazon_google", "dal", fast_settings))
+        first = ExperimentEngine(fast_settings, store=ArtifactStore(store_path))
+        first.run(specs)
+        assert first.last_report.executed == len(specs)
+
+        # Truncate one artifact mid-file, as a killed process would.
+        victim = ArtifactStore(store_path).path_for(specs[0])
+        victim.write_text(victim.read_text()[:40])
+
+        resumed = ExperimentEngine(fast_settings,
+                                   store=ArtifactStore(store_path))
+        with pytest.warns(UserWarning, match="corrupt artifact"):
+            results = resumed.run(specs)
+        assert resumed.last_report.executed == 1
+        assert resumed.last_report.from_store == len(specs) - 1
+        assert set(results) == set(specs)
+        # The re-executed run was persisted again: a second resume is clean.
+        second = ExperimentEngine(fast_settings,
+                                  store=ArtifactStore(store_path))
+        second.run(specs)
+        assert second.last_report.executed == 0

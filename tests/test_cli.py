@@ -41,6 +41,18 @@ class TestParser:
             main(["experiments", "--jobs", "0", "--datasets", "amazon_google",
                   "--methods", "random"])
 
+    def test_scenarios_defaults(self):
+        args = build_parser().parse_args(["scenarios"])
+        assert args.jobs == 1
+        assert args.store is None
+        assert args.scenarios is None
+        assert not args.list_scenarios
+
+    def test_scenarios_unknown_scenario_rejected(self):
+        with pytest.raises(ConfigurationError):
+            main(["scenarios", "--datasets", "amazon_google",
+                  "--scenarios", "mystery", "--methods", "random"])
+
 
 class TestCommands:
     def test_datasets_command_lists_all_benchmarks(self, capsys):
@@ -89,6 +101,30 @@ class TestCommands:
         second = capsys.readouterr().out
         assert "0 runs executed, 1 loaded from store" in second
         # The aggregated table is identical whether computed or resumed.
+        assert (first[:first.index("\nengine:")]
+                == second[:second.index("\nengine:")])
+
+    def test_scenarios_list_command(self, capsys):
+        assert main(["scenarios", "--list"]) == 0
+        output = capsys.readouterr().out
+        for name in ("perfect", "noisy-0.1", "abstaining", "very-dirty",
+                     "positive-starved"):
+            assert name in output
+
+    def test_scenarios_command_resumes_from_store(self, tmp_path, capsys):
+        argv = ["scenarios", "--scale", "tiny", "--jobs", "1",
+                "--store", str(tmp_path / "artifacts"),
+                "--datasets", "amazon_google",
+                "--scenarios", "perfect,noisy-0.1", "--methods", "random"]
+        assert main(argv) == 0
+        first = capsys.readouterr().out
+        assert "Robustness" in first
+        assert "2 runs executed, 0 loaded from store" in first
+
+        assert main(argv) == 0
+        second = capsys.readouterr().out
+        assert "0 runs executed, 2 loaded from store" in second
+        # The aggregated tables are identical whether computed or resumed.
         assert (first[:first.index("\nengine:")]
                 == second[:second.index("\nengine:")])
 
