@@ -24,7 +24,7 @@ from repro.active.weak_supervision import WeakSupervisionMode, resolve_mode, sel
 from repro.data.dataset import EMDataset
 from repro.evaluation.curves import LearningCurve
 from repro.evaluation.metrics import MatchingMetrics, matching_metrics
-from repro.exceptions import BudgetError
+from repro.exceptions import BudgetError, ConfigurationError
 from repro.neural.featurizer import FeaturizerConfig, PairFeaturizer
 from repro.neural.matcher import MatcherConfig, NeuralMatcher
 
@@ -158,6 +158,13 @@ class ActiveLearningLoop:
     weak_supervision / weak_budget:
         Weak-supervision mode (Section 3.7) and its per-iteration budget
         (defaults to ``budget_per_iteration``).
+    features:
+        Optional precomputed feature matrix for *all* candidate pairs of
+        ``dataset`` (as produced by ``PairFeaturizer(featurizer_config)
+        .transform(dataset)``).  The featurizer is stateless, so a matrix
+        computed once — e.g. by the experiment engine's feature cache — can
+        be shared by every run touching the dataset; when omitted the loop
+        featurizes the dataset itself on first use.
     """
 
     def __init__(
@@ -173,6 +180,7 @@ class ActiveLearningLoop:
         weak_supervision: WeakSupervisionMode | str | None = WeakSupervisionMode.SELECTOR,
         weak_budget: int | None = None,
         random_state: RandomState = None,
+        features: np.ndarray | None = None,
     ) -> None:
         if iterations < 0:
             raise BudgetError("iterations must be >= 0")
@@ -190,7 +198,15 @@ class ActiveLearningLoop:
         self.weak_budget = weak_budget if weak_budget is not None else budget_per_iteration
         self._rng = ensure_rng(random_state)
 
-        self._features: np.ndarray | None = None
+        if features is not None:
+            features = np.asarray(features, dtype=np.float64)
+            expected = (len(dataset.pairs), self.featurizer.feature_dim(dataset))
+            if features.shape != expected:
+                raise ConfigurationError(
+                    f"Precomputed feature matrix has shape {features.shape}, "
+                    f"but dataset {dataset.name!r} with this featurizer "
+                    f"config requires {expected}")
+        self._features = features
         #: The matcher trained in the final iteration (available after run()).
         self.final_matcher_: NeuralMatcher | None = None
         #: The labeling state at the end of the run (available after run()).
@@ -200,7 +216,11 @@ class ActiveLearningLoop:
     # Setup helpers
     # ------------------------------------------------------------------ #
     def _ensure_features(self) -> np.ndarray:
-        """Featurize the whole dataset once (the featurizer is stateless)."""
+        """Featurize the whole dataset once (the featurizer is stateless).
+
+        A matrix passed through the ``features`` constructor argument is used
+        as-is; otherwise the dataset is featurized on first call.
+        """
         if self._features is None:
             self._features = self.featurizer.transform(self.dataset)
         return self._features
@@ -251,8 +271,8 @@ class ActiveLearningLoop:
         universe = state.universe
         probabilities, representations = matcher.predict_with_representations(
             features[universe])
-        labeled_mask = np.array([state.is_labeled(int(i)) for i in universe], dtype=bool)
-        labels = np.array([state.labeled.get(int(i), -1) for i in universe], dtype=np.int64)
+        labels = state.label_array(universe)
+        labeled_mask = labels >= 0
         return SelectionContext(
             iteration=iteration,
             budget=self.budget_per_iteration,

@@ -64,6 +64,30 @@ class ActiveLearningState:
     def is_labeled(self, index: int) -> bool:
         return index in self.labeled
 
+    def label_array(self, indices: np.ndarray) -> np.ndarray:
+        """Oracle labels of ``indices`` as an array (``-1`` where unlabeled).
+
+        Vectorized equivalent of ``[self.labeled.get(int(i), -1) for i in
+        indices]``: the labeled mapping is materialized once (it is small —
+        bounded by the labeling budget) and matched against ``indices`` with
+        a sorted lookup, so the cost no longer scales as a Python loop over
+        the whole universe.
+        """
+        indices = np.asarray(indices, dtype=np.int64)
+        labels = np.full(len(indices), -1, dtype=np.int64)
+        if self.labeled and len(indices):
+            keys = np.fromiter(self.labeled.keys(), dtype=np.int64,
+                               count=len(self.labeled))
+            values = np.fromiter(self.labeled.values(), dtype=np.int64,
+                                 count=len(self.labeled))
+            order = np.argsort(keys)
+            keys, values = keys[order], values[order]
+            positions = np.searchsorted(keys, indices)
+            positions[positions == len(keys)] = 0
+            found = keys[positions] == indices
+            labels[found] = values[positions[found]]
+        return labels
+
     # ------------------------------------------------------------------ #
     # Updates
     # ------------------------------------------------------------------ #

@@ -29,6 +29,8 @@ from concurrent.futures import ProcessPoolExecutor, as_completed
 from dataclasses import dataclass
 from typing import Callable, Iterable, Iterator, Mapping, Sequence
 
+import numpy as np
+
 from repro.active.loop import ActiveLearningLoop, ActiveLearningResult
 from repro.active.oracle import LabelingOracle
 from repro.active.selectors import (
@@ -45,6 +47,7 @@ from repro.datasets.registry import load_benchmark
 from repro.exceptions import ConfigurationError
 from repro.experiments.configs import ExperimentSettings
 from repro.experiments.store import ArtifactStore
+from repro.neural.featurizer import FeaturizerConfig, PairFeaturizer
 from repro.scenarios import Scenario, get_scenario
 
 #: Name of the scenario reproducing the paper's evaluation exactly.
@@ -101,9 +104,63 @@ def get_dataset(name: str, settings: ExperimentSettings,
     return _DATASET_CACHE[key]
 
 
+#: Feature matrices keyed by the dataset-relevant fingerprint plus the
+#: featurizer configuration (FeaturizerConfig is frozen, hence hashable).
+#: Insertion-ordered (LRU on access) and bounded: dense matrices are far
+#: larger than the datasets they derive from, so unlike the dataset cache
+#: this one evicts.
+_FEATURE_CACHE: dict[
+    tuple[str, str, int, str, FeaturizerConfig], np.ndarray] = {}
+
+#: Maximum number of feature matrices kept per process.  A figure grid
+#: touches each (dataset, scenario-dataset, featurizer) combination many
+#: times in a row, so a small bound keeps the hit rate at ~100% while
+#: capping a scenario-matrix sweep's residency at a handful of matrices.
+FEATURE_CACHE_MAX_ENTRIES = 8
+
+
+def get_feature_matrix(name: str, settings: ExperimentSettings,
+                       scenario: Scenario | None = None) -> np.ndarray:
+    """Feature matrix of every candidate pair of benchmark ``name`` (cached).
+
+    Mirrors :func:`get_dataset`: the cache key is the dataset-relevant
+    fingerprint — ``(dataset, scale, base seed, scenario dataset-hash)`` —
+    extended by the settings' :class:`FeaturizerConfig`, the only other input
+    that changes the matrix (the featurizer is stateless).  A whole figure
+    grid therefore featurizes each dataset once per worker process instead
+    of once per run.  The cached matrix is marked read-only; consumers index
+    into it, which copies, so sharing is safe across runs.  The cache is a
+    bounded LRU (:data:`FEATURE_CACHE_MAX_ENTRIES`), so sweeps over many
+    dataset variants do not accumulate dense matrices without limit.
+    """
+    variant = scenario.dataset_fingerprint() if scenario is not None else ""
+    key = (name, settings.scale.name, settings.base_random_seed, variant,
+           settings.featurizer_config)
+    matrix = _FEATURE_CACHE.pop(key, None)
+    if matrix is None:
+        dataset = get_dataset(name, settings, scenario)
+        matrix = PairFeaturizer(settings.featurizer_config).transform(dataset)
+        matrix.setflags(write=False)
+    _FEATURE_CACHE[key] = matrix  # (re)insert at the most-recent end
+    while len(_FEATURE_CACHE) > FEATURE_CACHE_MAX_ENTRIES:
+        _FEATURE_CACHE.pop(next(iter(_FEATURE_CACHE)))
+    return matrix
+
+
 def clear_dataset_cache() -> None:
-    """Drop all cached benchmarks (used by tests)."""
+    """Drop all cached benchmarks and their feature matrices (used by tests).
+
+    Feature matrices are derived from cached datasets, so the two caches are
+    invalidated together — a stale matrix for a freshly re-generated
+    benchmark would be silently wrong.
+    """
     _DATASET_CACHE.clear()
+    _FEATURE_CACHE.clear()
+
+
+def clear_feature_cache() -> None:
+    """Drop only the cached feature matrices (used by tests)."""
+    _FEATURE_CACHE.clear()
 
 
 # --------------------------------------------------------------------------- #
@@ -228,11 +285,15 @@ def run_single(
     random_state: int,
     weak_supervision: WeakSupervisionMode | str = WeakSupervisionMode.SELECTOR,
     oracle: LabelingOracle | None = None,
+    features: np.ndarray | None = None,
 ) -> ActiveLearningResult:
     """One active-learning run with the settings' iteration/budget counts.
 
     ``oracle`` overrides the loop's default perfect oracle (the scenario
-    subsystem builds noisy/abstaining annotators here).
+    subsystem builds noisy/abstaining annotators here).  ``features`` is an
+    optional precomputed feature matrix for all candidate pairs of
+    ``dataset`` (see :func:`get_feature_matrix`); runs sharing a dataset can
+    then skip per-run featurization entirely.
     """
     loop = ActiveLearningLoop(
         dataset=dataset,
@@ -245,18 +306,25 @@ def run_single(
         seed_size=settings.seed_size,
         weak_supervision=weak_supervision,
         random_state=random_state,
+        features=features,
     )
     return loop.run()
 
 
 def execute_spec(spec: RunSpec, settings: ExperimentSettings) -> ActiveLearningResult:
-    """Execute one :class:`RunSpec` under ``settings``."""
+    """Execute one :class:`RunSpec` under ``settings``.
+
+    The feature matrix comes from the process-wide cache, so the first run
+    touching a ``(dataset, scenario-dataset, featurizer)`` combination pays
+    for featurization and every later run reuses the matrix.
+    """
     scenario = get_scenario(spec.scenario)
     selector = method_factory(spec.method)(spec.alpha, spec.beta)
     dataset = get_dataset(spec.dataset, settings, scenario)
     oracle = scenario.build_oracle(dataset, spec.seed)
+    features = get_feature_matrix(spec.dataset, settings, scenario)
     return run_single(dataset, selector, settings, spec.seed,
-                      spec.weak_supervision, oracle=oracle)
+                      spec.weak_supervision, oracle=oracle, features=features)
 
 
 # --------------------------------------------------------------------------- #

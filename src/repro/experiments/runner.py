@@ -25,7 +25,9 @@ from repro.experiments.engine import (
     RunSpec,
     SelectorFactory,
     clear_dataset_cache,
+    clear_feature_cache,
     get_dataset,
+    get_feature_matrix,
     method_factory,
     run_single,
 )
@@ -35,8 +37,10 @@ __all__ = [
     "MethodRun",
     "SelectorFactory",
     "clear_dataset_cache",
+    "clear_feature_cache",
     "enumerate_run_specs",
     "get_dataset",
+    "get_feature_matrix",
     "method_factory",
     "run_curve_grid",
     "run_learning_curves",

@@ -16,8 +16,74 @@ import math
 from repro.text.tokenization import normalize, qgram_set, token_counts, token_set, tokenize
 
 
-def levenshtein_distance(a: str, b: str) -> int:
-    """Edit distance between ``a`` and ``b`` (insert / delete / substitute)."""
+def character_positions(pattern: str) -> dict[str, int]:
+    """Bitmask of the positions of every character of ``pattern``.
+
+    The table feeding :func:`bitparallel_levenshtein`; callers that compare
+    one string against many (the batched featurizer) build it once per
+    string and reuse it across comparisons.
+    """
+    positions: dict[str, int] = {}
+    bit = 1
+    for char in pattern:
+        positions[char] = positions.get(char, 0) | bit
+        bit <<= 1
+    return positions
+
+
+def bitparallel_levenshtein(positions: dict[str, int], length: int,
+                            text: str) -> int:
+    """Myers' bit-parallel exact edit distance (pattern of <= 64 chars).
+
+    Encodes a whole DP column in the bits of one integer (Myers 1999, in
+    Hyyrö's formulation), so each text character costs a handful of integer
+    operations instead of a Python inner loop over the pattern.  Takes the
+    pattern pre-digested as its :func:`character_positions` table plus its
+    ``length``; returns the same integer as the dynamic program.
+    """
+    mask = (1 << length) - 1
+    high = 1 << (length - 1)
+    vp = mask
+    vn = 0
+    distance = length
+    get_positions = positions.get
+    for char in text:
+        pm = get_positions(char, 0)
+        d0 = ((((pm & vp) + vp) ^ vp) | pm | vn) & mask
+        hp = vn | (~(d0 | vp) & mask)
+        hn = d0 & vp
+        if hp & high:
+            distance += 1
+        if hn & high:
+            distance -= 1
+        hp = ((hp << 1) | 1) & mask
+        hn = (hn << 1) & mask
+        vp = hn | (~(d0 | hp) & mask)
+        vn = hp & d0
+    return distance
+
+
+def _levenshtein_bitparallel(pattern: str, text: str) -> int:
+    """Exact edit distance via the bit-parallel core (pattern <= 64 chars)."""
+    return bitparallel_levenshtein(character_positions(pattern), len(pattern),
+                                   text)
+
+
+def levenshtein_distance(a: str, b: str, upper_bound: int | None = None) -> int:
+    """Edit distance between ``a`` and ``b`` (insert / delete / substitute).
+
+    Parameters
+    ----------
+    a / b:
+        The strings to compare.
+    upper_bound:
+        Optional early-exit threshold (the caller's current best distance).
+        When given, the function may stop as soon as it can prove the true
+        distance is ``>= upper_bound`` and return any value ``>= upper_bound``
+        (the length-difference lower bound, or ``upper_bound`` itself when a
+        DP row's minimum reaches it).  With ``upper_bound=None`` the exact
+        distance is always returned.
+    """
     if a == b:
         return 0
     if not a:
@@ -26,12 +92,25 @@ def levenshtein_distance(a: str, b: str) -> int:
         return len(a)
     if len(a) < len(b):
         a, b = b, a
+    length_gap = len(a) - len(b)
+    if upper_bound is not None and length_gap >= upper_bound:
+        # The distance is at least the length difference; no DP needed to
+        # know it cannot beat the caller's current best.
+        return length_gap
+    if len(b) <= 64:
+        # The shorter string fits one bit-parallel word; exact and much
+        # faster than the row DP.
+        return _levenshtein_bitparallel(b, a)
     previous = list(range(len(b) + 1))
     for i, char_a in enumerate(a, start=1):
         current = [i]
         for j, char_b in enumerate(b, start=1):
             cost = 0 if char_a == char_b else 1
             current.append(min(previous[j] + 1, current[j - 1] + 1, previous[j - 1] + cost))
+        if upper_bound is not None and min(current) >= upper_bound:
+            # Row minima never decrease, so the final distance is >= the
+            # bound already; abandon the remaining rows.
+            return upper_bound
         previous = current
     return previous[-1]
 
@@ -41,6 +120,9 @@ def levenshtein_similarity(a: str, b: str) -> float:
     a, b = normalize(a), normalize(b)
     if not a and not b:
         return 1.0
+    if not a or not b:
+        # distance == max length exactly, so the similarity is 0; skip the DP.
+        return 0.0
     longest = max(len(a), len(b))
     return 1.0 - levenshtein_distance(a, b) / longest
 

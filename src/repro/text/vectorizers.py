@@ -20,6 +20,7 @@ from __future__ import annotations
 import hashlib
 import math
 from dataclasses import dataclass
+from itertools import chain
 from typing import Iterable, Sequence
 
 import numpy as np
@@ -47,12 +48,25 @@ class HashingVectorizerConfig:
 
 
 class HashingVectorizer:
-    """Hash tokens (and q-grams) of a text into a fixed-width vector."""
+    """Hash tokens (and q-grams) of a text into a fixed-width vector.
+
+    :meth:`transform` is the batched entry point: it hashes every *distinct*
+    feature string exactly once through a shared feature → ``(column, sign)``
+    table (kept on the instance, so repeated calls keep amortizing), scatters
+    all occurrences in one :func:`numpy.bincount` pass, and normalizes
+    row-wise.  Its output is bit-identical to stacking :meth:`transform_one`
+    over the same texts: the scattered values are ±1, whose float64 sums are
+    exact in any order, and each row is normalized with the very same
+    ``np.linalg.norm(row)`` / in-place division the one-text path uses.
+    """
 
     def __init__(self, config: HashingVectorizerConfig | None = None) -> None:
         self.config = config or HashingVectorizerConfig()
         if self.config.num_features <= 0:
             raise ValueError("num_features must be positive")
+        #: feature string → ±(column + 1) (sign of the entry is the scatter
+        #: sign); filled lazily by transform().
+        self._feature_table: dict[str, int] = {}
 
     @property
     def num_features(self) -> int:
@@ -65,8 +79,17 @@ class HashingVectorizer:
             features.extend(qgrams(text, q=self.config.qgram_size))
         return features
 
+    def _intern_feature(self, feature: str) -> None:
+        """Hash ``feature`` into the column table (at most once ever)."""
+        hashed = _stable_hash(feature, self.config.seed)
+        index = hashed % self.config.num_features
+        if self.config.signed and not ((hashed >> 32) & 1):
+            self._feature_table[feature] = -(index + 1)
+        else:
+            self._feature_table[feature] = index + 1
+
     def transform_one(self, text: str) -> np.ndarray:
-        """Vectorize a single text."""
+        """Vectorize a single text (the seed-era per-occurrence-hash path)."""
         vector = np.zeros(self.config.num_features, dtype=np.float64)
         for feature in self._features(text):
             hashed = _stable_hash(feature, self.config.seed)
@@ -83,10 +106,47 @@ class HashingVectorizer:
         return vector
 
     def transform(self, texts: Sequence[str]) -> np.ndarray:
-        """Vectorize a sequence of texts into a ``(n, num_features)`` matrix."""
-        if len(texts) == 0:
-            return np.zeros((0, self.config.num_features), dtype=np.float64)
-        return np.vstack([self.transform_one(text) for text in texts])
+        """Vectorize a sequence of texts into a ``(n, num_features)`` matrix.
+
+        Bit-identical to ``np.vstack([self.transform_one(t) for t in texts])``
+        but hashes each distinct feature string once instead of once per
+        occurrence.
+        """
+        num_features = self.config.num_features
+        n = len(texts)
+        if n == 0:
+            return np.zeros((0, num_features), dtype=np.float64)
+        table = self._feature_table
+        intern = self._intern_feature
+        per_text = [self._features(text) for text in texts]
+        lengths = np.fromiter(map(len, per_text), dtype=np.int64, count=n)
+        total = int(lengths.sum())
+        if total:
+            for features in per_text:
+                for feature in features:
+                    if feature not in table:
+                        intern(feature)
+            # Translate features through the table at C speed; the sign of a
+            # packed entry is the scatter sign, its magnitude - 1 the column.
+            packed = np.fromiter(
+                map(table.__getitem__, chain.from_iterable(per_text)),
+                dtype=np.int64, count=total)
+            rows = np.repeat(np.arange(n, dtype=np.int64), lengths)
+            columns = np.abs(packed) - 1
+            signs = np.where(packed > 0, 1.0, -1.0)
+            flat = np.bincount(rows * num_features + columns, weights=signs,
+                               minlength=n * num_features)
+            matrix = flat.reshape(n, num_features)
+        else:
+            matrix = np.zeros((n, num_features), dtype=np.float64)
+        if self.config.normalize:
+            # Per-row np.linalg.norm: the exact computation transform_one
+            # runs, so normalized rows match it bit for bit.
+            for row in range(n):
+                norm = np.linalg.norm(matrix[row])
+                if norm > 0:
+                    matrix[row] /= norm
+        return matrix
 
 
 class TfidfVectorizer:
@@ -128,19 +188,35 @@ class TfidfVectorizer:
         return self
 
     def transform(self, texts: Sequence[str]) -> np.ndarray:
-        """Transform ``texts`` into an L2-normalized TF-IDF matrix."""
+        """Transform ``texts`` into an L2-normalized TF-IDF matrix.
+
+        Token counts are accumulated per row first and only the nonzero
+        columns are written, so the cost scales with the tokens actually
+        present instead of ``n_texts × vocabulary``; the IDF scaling and the
+        normalization happen in place, eliminating the full-matrix multiply
+        pass and the second dense ``matrix / norms`` allocation of the seed
+        implementation.  Values are identical: a count accumulated as
+        repeated ``+= 1.0`` equals the integer count cast to float, and the
+        row norms are computed by the same ``np.linalg.norm`` call.
+        """
         if self._vocabulary is None or self._idf is None:
             raise NotFittedError("TfidfVectorizer.fit must be called before transform")
-        matrix = np.zeros((len(texts), len(self._vocabulary)), dtype=np.float64)
+        vocabulary = self._vocabulary
+        matrix = np.zeros((len(texts), len(vocabulary)), dtype=np.float64)
         for row, text in enumerate(texts):
+            counts: dict[int, int] = {}
             for token in tokenize(text):
-                column = self._vocabulary.get(token)
+                column = vocabulary.get(token)
                 if column is not None:
-                    matrix[row, column] += 1.0
-        matrix *= self._idf
+                    counts[column] = counts.get(column, 0) + 1
+            if counts:
+                columns = np.fromiter(counts.keys(), dtype=np.int64, count=len(counts))
+                values = np.fromiter(counts.values(), dtype=np.float64, count=len(counts))
+                matrix[row, columns] = values * self._idf[columns]
         norms = np.linalg.norm(matrix, axis=1, keepdims=True)
         norms[norms == 0] = 1.0
-        return matrix / norms
+        matrix /= norms
+        return matrix
 
     def fit_transform(self, texts: Sequence[str]) -> np.ndarray:
         """Equivalent to ``fit(texts).transform(texts)``."""

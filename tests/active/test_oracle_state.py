@@ -254,6 +254,28 @@ class TestActiveLearningState:
         state.set_weak_labels({4: 0})
         assert list(state.weak_labels) == [4]
 
+    def test_label_array_matches_dict_lookup(self):
+        state = ActiveLearningState(universe=np.arange(20))
+        state.add_labels({7: 1, 3: 0, 15: 1, 0: 0})
+        universe = state.universe
+        expected = np.array([state.labeled.get(int(i), -1) for i in universe],
+                            dtype=np.int64)
+        produced = state.label_array(universe)
+        assert produced.dtype == np.int64
+        assert np.array_equal(produced, expected)
+        # Works for arbitrary subsets and orders too.
+        subset = np.array([15, 1, 7, 19, 0])
+        assert np.array_equal(
+            state.label_array(subset),
+            np.array([1, -1, 1, -1, 0], dtype=np.int64))
+
+    def test_label_array_empty_cases(self):
+        state = ActiveLearningState(universe=np.arange(5))
+        assert np.array_equal(state.label_array(np.arange(5)),
+                              np.full(5, -1, dtype=np.int64))
+        state.add_labels({2: 1})
+        assert state.label_array(np.array([], dtype=np.int64)).shape == (0,)
+
     def test_labeled_overrides_weak(self):
         state = ActiveLearningState(universe=np.arange(10))
         state.set_weak_labels({3: 1})

@@ -64,6 +64,36 @@ class TestHashingVectorizer:
         vectorizer = HashingVectorizer(HashingVectorizerConfig(num_features=64))
         assert np.linalg.norm(vectorizer.transform_one(text)) <= 1.0 + 1e-9
 
+    @settings(max_examples=30, deadline=None)
+    @given(texts=st.lists(st.text(alphabet="abcdef #,1", max_size=30), max_size=8),
+           signed=st.booleans(), normalize=st.booleans(), use_qgrams=st.booleans())
+    def test_property_bulk_transform_bit_identical_to_transform_one(
+            self, texts, signed, normalize, use_qgrams):
+        """The bulk path must match stacked transform_one bit for bit."""
+        config = HashingVectorizerConfig(num_features=32, signed=signed,
+                                         normalize=normalize, use_qgrams=use_qgrams)
+        vectorizer = HashingVectorizer(config)
+        expected = (np.vstack([vectorizer.transform_one(text) for text in texts])
+                    if texts else np.zeros((0, 32)))
+        bulk = vectorizer.transform(texts)
+        assert bulk.dtype == np.float64
+        assert np.array_equal(expected, bulk)
+
+    def test_bulk_transform_feature_table_reused_across_calls(self):
+        vectorizer = HashingVectorizer(HashingVectorizerConfig(num_features=64))
+        first = vectorizer.transform(["canon eos rebel"])
+        table_size = len(vectorizer._feature_table)
+        assert table_size > 0
+        second = vectorizer.transform(["canon eos rebel"])
+        assert len(vectorizer._feature_table) == table_size
+        assert np.array_equal(first, second)
+
+    def test_bulk_transform_all_empty_texts(self):
+        vectorizer = HashingVectorizer(HashingVectorizerConfig(num_features=16))
+        matrix = vectorizer.transform(["", "   ", ""])
+        assert matrix.shape == (3, 16)
+        assert np.allclose(matrix, 0.0)
+
 
 class TestTfidfVectorizer:
     def test_requires_fit(self):
@@ -110,6 +140,24 @@ class TestTfidfVectorizer:
     def test_invalid_min_df(self):
         with pytest.raises(ValueError):
             TfidfVectorizer(min_df=0)
+
+    @settings(max_examples=30, deadline=None)
+    @given(corpus=st.lists(st.text(alphabet="abc d", max_size=25), min_size=1, max_size=6),
+           texts=st.lists(st.text(alphabet="abc de", max_size=25), max_size=6))
+    def test_property_sparse_fill_matches_dense_accumulation(self, corpus, texts):
+        """The per-row count fill must equal the seed dense += accumulation."""
+        vectorizer = TfidfVectorizer().fit(corpus)
+        from repro.text.tokenization import tokenize
+        dense = np.zeros((len(texts), len(vectorizer.vocabulary)), dtype=np.float64)
+        for row, text in enumerate(texts):
+            for token in tokenize(text):
+                column = vectorizer.vocabulary.get(token)
+                if column is not None:
+                    dense[row, column] += 1.0
+        dense *= vectorizer._idf
+        norms = np.linalg.norm(dense, axis=1, keepdims=True)
+        norms[norms == 0] = 1.0
+        assert np.array_equal(vectorizer.transform(texts), dense / norms)
 
 
 class TestCosineSimilarityMatrix:
