@@ -1,0 +1,30 @@
+"""Shared formatting for "unknown name" lookup errors.
+
+Every registry of the package (benchmarks, scenarios, selectors, scales,
+pool transforms, weak-supervision modes) rejects unknown keys.  The manifest
+linter surfaces those messages directly to users editing TOML files, so the
+message must carry everything needed to fix the typo: the full list of valid
+names plus, when the unknown key is close to a valid one, an explicit
+suggestion.
+"""
+
+from __future__ import annotations
+
+import difflib
+from typing import Iterable
+
+
+def unknown_name_message(kind: str, name: object, available: Iterable[object]) -> str:
+    """Error text for a failed ``name`` lookup among ``available`` ``kind``s.
+
+    Lists every valid name (sorted, so the message is deterministic) and adds
+    a "did you mean" hint when the unknown key is a near-miss.
+    """
+    options = sorted(str(option) for option in available)
+    listing = ", ".join(options) if options else "(none registered)"
+    matches = difflib.get_close_matches(str(name), options, n=2, cutoff=0.6)
+    if matches:
+        hint = " or ".join(repr(match) for match in matches)
+        return (f"Unknown {kind} {name!r}; did you mean {hint}? "
+                f"Available: {listing}")
+    return f"Unknown {kind} {name!r}; available: {listing}"

@@ -22,6 +22,7 @@ from __future__ import annotations
 
 from enum import Enum
 
+from repro._suggest import unknown_name_message
 from repro.active.selectors.base import SelectionContext, Selector, entropy_weak_selection
 from repro.exceptions import ConfigurationError
 
@@ -47,8 +48,8 @@ def resolve_mode(mode: WeakSupervisionMode | str | None) -> WeakSupervisionMode:
         return WeakSupervisionMode(str(mode).strip().lower())
     except ValueError:
         raise ConfigurationError(
-            f"Unknown weak-supervision mode {mode!r}; expected one of "
-            f"{[m.value for m in WeakSupervisionMode]}"
+            unknown_name_message("weak-supervision mode", mode,
+                                 [m.value for m in WeakSupervisionMode])
         ) from None
 
 

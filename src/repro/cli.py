@@ -11,6 +11,10 @@ Exposes the most common workflows without writing Python::
         --figure 5 --table 5                       # (parallel, resumable) harness
     python -m repro scenarios --scale tiny --jobs 4 --store ./artifacts \
         --datasets amazon_google --scenarios perfect,noisy-0.1,abstaining
+    python -m repro manifest lint examples/campaign.toml
+    python -m repro manifest build examples/campaign.toml --jobs 2 \
+        --store ./artifacts
+    python -m repro manifest versions examples/campaign.toml
 """
 
 from __future__ import annotations
@@ -41,6 +45,7 @@ from repro.experiments.engine import (
     SerialExecutor,
 )
 from repro.experiments.store import ArtifactStore
+from repro.exceptions import ManifestError
 from repro.neural.featurizer import FeaturizerConfig
 from repro.neural.matcher import MatcherConfig
 from repro.scenarios import available_scenarios, get_scenario, resolve_scenarios
@@ -134,6 +139,9 @@ def build_parser() -> argparse.ArgumentParser:
     experiments.add_argument("--methods", nargs="+", default=None,
                              choices=ACTIVE_LEARNING_METHODS,
                              help="Restrict learning-curve sweeps to these methods")
+    experiments.add_argument("--dry-run", action="store_true",
+                             help="Enumerate the RunSpec grid (count + "
+                                  "fingerprints) without executing anything")
 
     scenarios = subparsers.add_parser(
         "scenarios",
@@ -156,6 +164,43 @@ def build_parser() -> argparse.ArgumentParser:
     scenarios.add_argument("--methods", nargs="+", default=None,
                            choices=ACTIVE_LEARNING_METHODS,
                            help="Restrict the sweep to these selectors")
+
+    manifest = subparsers.add_parser(
+        "manifest",
+        help="Lint, build, or version a declarative experiment manifest")
+    manifest_sub = manifest.add_subparsers(dest="manifest_command",
+                                           required=True)
+
+    manifest_lint = manifest_sub.add_parser(
+        "lint",
+        help="Validate a manifest, reporting every issue with its location")
+    manifest_lint.add_argument("path", help="Manifest file (.toml or .json)")
+
+    manifest_build = manifest_sub.add_parser(
+        "build",
+        help="Expand a manifest into its RunSpec grid and execute it")
+    manifest_build.add_argument("path", help="Manifest file (.toml or .json)")
+    manifest_build.add_argument("--jobs", type=int, default=1,
+                                help="Worker processes (1 = serial execution)")
+    manifest_build.add_argument("--store", default=None, metavar="DIR",
+                                help="Artifact directory; completed runs are "
+                                     "persisted there and skipped on "
+                                     "re-execution")
+    manifest_build.add_argument("--dry-run", action="store_true",
+                                help="Print the expanded grid (count + "
+                                     "fingerprints) without executing")
+    manifest_build.add_argument("--ignore-lockfile", action="store_true",
+                                help="Execute even when the lockfile pins "
+                                     "have drifted")
+
+    manifest_versions = manifest_sub.add_parser(
+        "versions",
+        help="Pin the manifest's referenced definitions into a lockfile")
+    manifest_versions.add_argument("path",
+                                   help="Manifest file (.toml or .json)")
+    manifest_versions.add_argument("--update", action="store_true",
+                                   help="Rewrite a drifted lockfile instead "
+                                        "of failing")
 
     return parser
 
@@ -233,7 +278,12 @@ def _command_experiments(args: argparse.Namespace) -> int:
     executor = (SerialExecutor() if args.jobs == 1
                 else ParallelExecutor(jobs=args.jobs))
     store = ArtifactStore(args.store) if args.store else None
-    engine = ExperimentEngine(settings, executor=executor, store=store)
+    dry_run = getattr(args, "dry_run", False)
+    engine = ExperimentEngine(settings, executor=executor, store=store,
+                              plan_only=dry_run)
+    # A dry run enumerates every grid through the plan-only engine; the
+    # builders' placeholder outputs are meaningless, so only the plan prints.
+    emit = (lambda text: None) if dry_run else print
 
     requested_figures = tuple(dict.fromkeys(args.figure or ()))
     requested_tables = tuple(dict.fromkeys(args.table or ()))
@@ -253,53 +303,76 @@ def _command_experiments(args: argparse.Namespace) -> int:
 
     for number in requested_figures:
         if number == 5:
-            print(format_table(_curve_rows(curves),
-                               title="Figure 5 — learning curves"))
+            emit(format_table(_curve_rows(curves),
+                              title="Figure 5 — learning curves"))
         elif number == 6:
             # figure6_runtime guards its own timings: with --jobs > 1 or a
             # --store it re-measures through a serial, store-less engine
             # (warning) and hands the fresh results back to ``engine``.
-            print(format_table(figures.figure6_runtime(settings, engine=engine),
-                               title="Figure 6 — selection runtime"))
+            emit(format_table(figures.figure6_runtime(settings, engine=engine),
+                              title="Figure 6 — selection runtime"))
         elif number == 7:
             rows = figures.figure7_rows(
                 figures.figure7_beta_ablation(settings, engine=engine,
                                               **ablation_kwargs))
-            print(format_table(rows, title="Figure 7 — β ablation"))
+            emit(format_table(rows, title="Figure 7 — β ablation"))
         elif number == 8:
-            print(format_table(
+            emit(format_table(
                 figures.figure8_correspondence(settings, engine=engine,
                                                **ablation_kwargs),
                 title="Figure 8 — correspondence effect"))
         elif number == 9:
-            print(format_table(
+            emit(format_table(
                 figures.figure9_weak_supervision(settings, engine=engine,
                                                  **ablation_kwargs),
                 title="Figure 9 — weak supervision"))
         elif number == 10:
-            print(format_table(
+            emit(format_table(
                 figures.figure10_ws_method(settings, engine=engine,
                                            **ablation_kwargs),
                 title="Figure 10 — weak-supervision method"))
 
     for number in requested_tables:
         if number == 3:
+            if dry_run:
+                # Table 3 generates datasets to measure them — exactly the
+                # side effect a dry run promises not to have.
+                continue
             print(format_table(tables.table3_dataset_statistics(settings),
                                title="Table 3 — dataset statistics"))
         elif number == 4:
-            print(format_table(
+            emit(format_table(
                 tables.table4_f1_by_budget(curves, settings,
                                            include_reference_models=False),
                 title="Table 4 — F1 at labeled-budget checkpoints"))
         elif number == 5:
-            print(format_table(tables.table5_auc(curves),
-                               title="Table 5 — learning-curve AUC"))
+            emit(format_table(tables.table5_auc(curves),
+                              title="Table 5 — learning-curve AUC"))
         elif number == 6:
-            print(format_table(tables.table6_alpha_ablation(settings, engine=engine),
-                               title="Table 6 — α ablation"))
+            emit(format_table(tables.table6_alpha_ablation(settings,
+                                                           engine=engine),
+                              title="Table 6 — α ablation"))
 
-    print(_engine_report_line(engine, args.store))
+    if dry_run:
+        print(_dry_run_summary(engine, args.store))
+    else:
+        print(_engine_report_line(engine, args.store))
     return 0
+
+
+def _dry_run_summary(engine: ExperimentEngine, store_path: str | None) -> str:
+    """The dry-run closing block: planned count plus one line per job."""
+    planned = engine.planned_specs()
+    cached = engine.planned_cached_specs()
+    store_note = (f" ({len(cached)} already in store {store_path})"
+                  if store_path else "")
+    lines = [f"dry-run: {len(planned)} runs would execute{store_note}"]
+    for spec in planned:
+        lines.append(f"  {spec.fingerprint()}  {spec.dataset} {spec.method} "
+                     f"scenario={spec.scenario} seed={spec.seed} "
+                     f"alpha={spec.alpha:g} beta={spec.beta:g} "
+                     f"ws={spec.weak_supervision}")
+    return "\n".join(lines)
 
 
 def _engine_report_line(engine: ExperimentEngine, store_path: str | None) -> str:
@@ -342,6 +415,127 @@ def _command_scenarios(args: argparse.Namespace) -> int:
     return 0
 
 
+def _manifest_lint(args: argparse.Namespace) -> int:
+    from repro.manifests import expand_run_specs, lint_manifest, load_manifest
+
+    source = load_manifest(args.path)
+    report = lint_manifest(source)
+    for issue in report.issues:
+        print(issue.render())
+    if not report.ok:
+        print(f"{source.display_path}: {len(report.errors)} error(s), "
+              f"{len(report.warnings)} warning(s)")
+        return 1
+    # Expansion is pure (no datasets, no store), so lint can report the
+    # grid size the manifest declares.
+    specs = expand_run_specs(report.document)
+    print(f"{source.display_path}: OK — {len(specs)} runs, "
+          f"{len(report.warnings)} warning(s)")
+    return 0
+
+
+def _manifest_build(args: argparse.Namespace) -> int:
+    from repro.manifests import (
+        build_manifest,
+        compute_lockfile,
+        load_manifest,
+        lockfile_drift,
+        lockfile_path,
+        read_lockfile,
+    )
+
+    source = load_manifest(args.path)
+    document, settings, specs = build_manifest(source)
+
+    lock_path = lockfile_path(args.path)
+    if lock_path.exists() and not args.ignore_lockfile:
+        drift = lockfile_drift(read_lockfile(lock_path),
+                               compute_lockfile(document, settings, specs))
+        if drift:
+            print(f"{lock_path}: lockfile drift detected — the manifest's "
+                  "referenced definitions changed since the pins were "
+                  "written:")
+            for line in drift:
+                print(f"  {line}")
+            print("Re-pin with 'repro manifest versions --update' or build "
+                  "with --ignore-lockfile.")
+            return 1
+
+    executor = (SerialExecutor() if args.jobs == 1
+                else ParallelExecutor(jobs=args.jobs))
+    store = ArtifactStore(args.store) if args.store else None
+    engine = ExperimentEngine(settings, executor=executor, store=store,
+                              plan_only=args.dry_run,
+                              manifest_id=document.manifest_id())
+    results = engine.run(specs)
+    if args.dry_run:
+        print(_dry_run_summary(engine, args.store))
+        return 0
+
+    rows = [{
+        "dataset": spec.dataset,
+        "method": spec.method,
+        "scenario": spec.scenario,
+        "seed": spec.seed,
+        "alpha": spec.alpha,
+        "final_f1": round(results[spec].final_f1 * 100, 2),
+    } for spec in specs]
+    print(format_table(
+        rows, title=f"Manifest {document.manifest_id()} — {len(specs)} runs"))
+    print(_engine_report_line(engine, args.store))
+    return 0
+
+
+def _manifest_versions(args: argparse.Namespace) -> int:
+    from repro.manifests import (
+        build_manifest,
+        compute_lockfile,
+        load_manifest,
+        lockfile_drift,
+        lockfile_path,
+        read_lockfile,
+        write_lockfile,
+    )
+
+    source = load_manifest(args.path)
+    document, settings, specs = build_manifest(source)
+    current = compute_lockfile(document, settings, specs)
+    lock_path = lockfile_path(args.path)
+    if not lock_path.exists():
+        write_lockfile(lock_path, current)
+        print(f"wrote {lock_path} ({len(specs)} runs pinned)")
+        return 0
+    drift = lockfile_drift(read_lockfile(lock_path), current)
+    if not drift:
+        print(f"{lock_path}: up to date")
+        return 0
+    if args.update:
+        write_lockfile(lock_path, current)
+        print(f"updated {lock_path}:")
+        for line in drift:
+            print(f"  {line}")
+        return 0
+    print(f"{lock_path}: drift detected (re-pin with --update):")
+    for line in drift:
+        print(f"  {line}")
+    return 1
+
+
+_MANIFEST_COMMANDS = {
+    "lint": _manifest_lint,
+    "build": _manifest_build,
+    "versions": _manifest_versions,
+}
+
+
+def _command_manifest(args: argparse.Namespace) -> int:
+    try:
+        return _MANIFEST_COMMANDS[args.manifest_command](args)
+    except ManifestError as error:
+        print(error, file=sys.stderr)
+        return 1
+
+
 _COMMANDS = {
     "datasets": _command_datasets,
     "run": _command_run,
@@ -349,6 +543,7 @@ _COMMANDS = {
     "export": _command_export,
     "experiments": _command_experiments,
     "scenarios": _command_scenarios,
+    "manifest": _command_manifest,
 }
 
 

@@ -20,6 +20,7 @@ from __future__ import annotations
 import os
 from dataclasses import dataclass
 
+from repro._suggest import unknown_name_message
 from repro.exceptions import ConfigurationError
 
 _SCALE_ENV_VAR = "REPRO_SCALE"
@@ -96,8 +97,7 @@ def get_scale(name: str | None = None) -> ScaleProfile:
     name = name.strip().lower()
     if name not in _SCALE_FACTORS:
         raise ConfigurationError(
-            f"Unknown scale {name!r}; expected one of {sorted(_SCALE_FACTORS)}"
-        )
+            unknown_name_message("scale", name, _SCALE_FACTORS))
     return ScaleProfile(
         name=name,
         size_factor=_SCALE_FACTORS[name],

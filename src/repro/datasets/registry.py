@@ -7,9 +7,13 @@ bench.
 
 from __future__ import annotations
 
+import dataclasses
+import hashlib
+import json
 from dataclasses import dataclass
 
 from repro._rng import RandomState
+from repro._suggest import unknown_name_message
 from repro.config import ScaleProfile
 from repro.data.dataset import EMDataset
 from repro.data.schema import Attribute, AttributeType, Schema
@@ -197,8 +201,63 @@ def benchmark_spec(name: str) -> BenchmarkSpec:
         return _SPEC_FACTORIES[key]()
     except KeyError:
         raise DatasetError(
-            f"Unknown benchmark {name!r}; available: {sorted(_SPEC_FACTORIES)}"
-        ) from None
+            unknown_name_message("benchmark", name, _SPEC_FACTORIES)) from None
+
+
+def _vocabulary_fingerprint() -> str:
+    """Content hash of every corruption/catalog vocabulary constant.
+
+    The synthetic benchmarks are generated from the word lists in
+    :mod:`repro.datasets.vocabularies`; editing any of them silently changes
+    every generated dataset.  Folding their content into
+    :func:`benchmark_fingerprint` makes that drift visible to manifest
+    lockfiles.
+    """
+    from repro.datasets import vocabularies
+
+    payload: dict[str, object] = {}
+    for constant in sorted(dir(vocabularies)):
+        if not constant.isupper():
+            continue
+        value = getattr(vocabularies, constant)
+        if isinstance(value, tuple):
+            payload[constant] = list(value)
+        elif isinstance(value, dict):
+            payload[constant] = dict(sorted(value.items()))
+    canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()[:16]
+
+
+def benchmark_fingerprint(name: str) -> str:
+    """Content hash of everything that shapes the generated benchmark.
+
+    Covers the spec (schema, Table 3 targets, per-source corruption configs,
+    split ratios) and the generator vocabularies, but *not* the scale or the
+    random seed — those are run-time inputs named by the experiment settings.
+    Manifest lockfiles pin this value so a re-run can prove the referenced
+    dataset still means the same thing.
+    """
+    spec = benchmark_spec(name)
+    payload = {
+        "name": spec.name,
+        "schema": [
+            {"name": attribute.name, "kind": attribute.kind.value,
+             "weight": attribute.weight}
+            for attribute in spec.schema
+        ],
+        "catalog": getattr(spec.catalog, "__qualname__", repr(spec.catalog)),
+        "paper_train_size": spec.paper_train_size,
+        "positive_rate": spec.positive_rate,
+        "left_corruption": dataclasses.asdict(spec.left_corruption),
+        "right_corruption": dataclasses.asdict(spec.right_corruption),
+        "serialized_attributes": (list(spec.serialized_attributes)
+                                  if spec.serialized_attributes else None),
+        "hard_negative_fraction": spec.hard_negative_fraction,
+        "split_ratios": dataclasses.asdict(spec.split_ratios),
+        "vocabularies": _vocabulary_fingerprint(),
+    }
+    canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()[:16]
 
 
 def load_benchmark(

@@ -19,6 +19,7 @@ from typing import Callable, Dict
 
 import numpy as np
 
+from repro._suggest import unknown_name_message
 from repro.data.dataset import EMDataset
 from repro.data.splits import DatasetSplit
 from repro.exceptions import DatasetError
@@ -175,7 +176,6 @@ def apply_pool_transform(
         transform = POOL_TRANSFORMS[name]
     except KeyError:
         raise DatasetError(
-            f"Unknown pool transform {name!r}; available: "
-            f"{sorted(POOL_TRANSFORMS)}"
+            unknown_name_message("pool transform", name, POOL_TRANSFORMS)
         ) from None
     return transform(dataset, rng)

@@ -24,6 +24,10 @@ class ConfigurationError(ReproError):
     """An invalid configuration value was supplied."""
 
 
+class ManifestError(ReproError):
+    """An experiment manifest failed to parse, lint, or verify."""
+
+
 class NotFittedError(ReproError):
     """A model or index was used before ``fit`` / ``build`` was called."""
 

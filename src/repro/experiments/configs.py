@@ -10,6 +10,9 @@ run on a laptop; ``REPRO_SCALE=paper`` restores the paper's numbers.
 
 from __future__ import annotations
 
+import dataclasses
+import hashlib
+import json
 from dataclasses import dataclass, field
 
 from repro.config import ScaleProfile, get_scale
@@ -64,6 +67,19 @@ class ExperimentSettings:
     def seeds(self) -> tuple[int, ...]:
         """The random seeds every configuration is repeated over."""
         return tuple(self.base_random_seed + 13 * run for run in range(self.num_seeds))
+
+
+def config_fingerprint(config: object) -> str:
+    """Content hash of a frozen config dataclass (featurizer, matcher, …).
+
+    Manifest lockfiles pin these per-component fingerprints next to the
+    run-level :func:`~repro.experiments.engine.settings_fingerprint`, so a
+    drifted default (say, a new ``FeaturizerConfig`` field) is attributable
+    to the component that changed rather than just "the settings hash moved".
+    """
+    payload = dataclasses.asdict(config)  # type: ignore[call-overload]
+    canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()[:16]
 
 
 def default_settings(

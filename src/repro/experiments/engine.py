@@ -31,7 +31,11 @@ from typing import Callable, Iterable, Iterator, Mapping, Sequence
 
 import numpy as np
 
-from repro.active.loop import ActiveLearningLoop, ActiveLearningResult
+from repro.active.loop import (
+    ActiveLearningLoop,
+    ActiveLearningResult,
+    IterationRecord,
+)
 from repro.active.oracle import LabelingOracle
 from repro.active.selectors import (
     BattleshipConfig,
@@ -41,12 +45,14 @@ from repro.active.selectors import (
     RandomSelector,
     Selector,
 )
+from repro._suggest import unknown_name_message
 from repro.active.weak_supervision import WeakSupervisionMode, resolve_mode
 from repro.data.dataset import EMDataset
 from repro.datasets.registry import load_benchmark
+from repro.evaluation.metrics import MatchingMetrics
 from repro.exceptions import ConfigurationError
 from repro.experiments.configs import ExperimentSettings
-from repro.experiments.store import ArtifactStore
+from repro.experiments.store import ArtifactStore, collect_corruption_warnings
 from repro.neural.featurizer import FeaturizerConfig, PairFeaturizer
 from repro.scenarios import Scenario, get_scenario
 
@@ -76,8 +82,7 @@ def method_factory(name: str) -> SelectorFactory:
         return _METHOD_FACTORIES[name]
     except KeyError:
         raise ConfigurationError(
-            f"Unknown method {name!r}; expected one of {sorted(_METHOD_FACTORIES)}"
-        ) from None
+            unknown_name_message("method", name, _METHOD_FACTORIES)) from None
 
 
 def get_dataset(name: str, settings: ExperimentSettings,
@@ -448,6 +453,8 @@ class EngineReport:
     executed: int = 0
     from_store: int = 0
     from_memory: int = 0
+    #: Jobs a plan-only engine *would* execute (dry runs never execute).
+    planned: int = 0
 
     @property
     def cached(self) -> int:
@@ -456,12 +463,13 @@ class EngineReport:
 
     @property
     def total(self) -> int:
-        return self.executed + self.cached
+        return self.executed + self.cached + self.planned
 
     def merge(self, other: "EngineReport") -> None:
         self.executed += other.executed
         self.from_store += other.from_store
         self.from_memory += other.from_memory
+        self.planned += other.planned
 
 
 class ExperimentEngine:
@@ -479,6 +487,16 @@ class ExperimentEngine:
         Optional :class:`ArtifactStore`.  Specs with a stored result are
         *not* re-executed; each fresh result is persisted as soon as its run
         finishes, so an interrupted sweep resumes from the completed runs.
+    plan_only:
+        Dry-run mode: :meth:`run` never executes (or even parses stored
+        artifacts — it only checks their existence) and answers every spec
+        with a placeholder result shaped like a real one, so the figure and
+        table builders enumerate their full grids without side effects.  The
+        specs that *would* have executed accumulate in :meth:`planned_specs`.
+    manifest_id:
+        Optional manifest identity (``name@hash``) stamped into every
+        artifact this engine persists, tying stored runs back to the
+        manifest that declared them.
 
     Results are additionally cached in memory for the engine's lifetime, so
     figure/table builders sharing RunSpecs within one invocation (e.g.
@@ -492,13 +510,19 @@ class ExperimentEngine:
         settings: ExperimentSettings,
         executor: SerialExecutor | ParallelExecutor | None = None,
         store: ArtifactStore | None = None,
+        plan_only: bool = False,
+        manifest_id: str | None = None,
     ) -> None:
         self.settings = settings
         self.executor = executor or SerialExecutor()
         self.store = store
+        self.plan_only = plan_only
+        self.manifest_id = manifest_id
         self.last_report = EngineReport()
         self.total_report = EngineReport()
         self._memory: dict[RunSpec, ActiveLearningResult] = {}
+        self._planned: dict[RunSpec, None] = {}
+        self._plan_store_hits: dict[RunSpec, None] = {}
 
     def cached_results(self) -> dict[RunSpec, ActiveLearningResult]:
         """Copy of every result this engine currently holds in memory."""
@@ -522,8 +546,54 @@ class ExperimentEngine:
                     f"was produced under settings {spec.settings_hash}, but "
                     f"this engine runs {expected_hash}")
             if self.store is not None:
-                self.store.put(spec, result)
+                self.store.put(spec, result, manifest=self.manifest_id)
             self._memory[spec] = result
+
+    def planned_specs(self) -> tuple[RunSpec, ...]:
+        """Specs a plan-only engine would execute, in first-seen order."""
+        return tuple(self._planned)
+
+    def planned_cached_specs(self) -> tuple[RunSpec, ...]:
+        """Specs a plan-only engine found already in the store (deduplicated)."""
+        return tuple(self._plan_store_hits)
+
+    def _placeholder_result(self, spec: RunSpec) -> ActiveLearningResult:
+        """A zero-metric result shaped exactly like a real one.
+
+        Dry runs hand these to the figure/table builders, whose curve
+        averaging requires every run of a group to share the settings'
+        checkpoint grid — so the placeholder walks ``labeled_checkpoints``
+        the way a real run would.
+        """
+        zero = MatchingMetrics(precision=0.0, recall=0.0, f1=0.0,
+                               num_examples=0)
+        records = [
+            IterationRecord(iteration=iteration, num_labeled=labeled,
+                            num_weak=0, num_labeled_positives=0,
+                            test_metrics=zero, train_seconds=0.0,
+                            selection_seconds=0.0)
+            for iteration, labeled in enumerate(self.settings.labeled_checkpoints)
+        ]
+        return ActiveLearningResult(dataset_name=spec.dataset,
+                                    selector_name=spec.method,
+                                    records=records)
+
+    def _plan(self, ordered: list[RunSpec]) -> dict[RunSpec, ActiveLearningResult]:
+        """Dry-run resolution: existence checks and placeholders only."""
+        results: dict[RunSpec, ActiveLearningResult] = {}
+        from_store = planned = 0
+        for spec in ordered:
+            if self.store is not None and spec in self.store:
+                self._plan_store_hits[spec] = None
+                from_store += 1
+            else:
+                self._planned[spec] = None
+                planned += 1
+            results[spec] = self._placeholder_result(spec)
+        self.last_report = EngineReport(from_store=from_store,
+                                        planned=planned)
+        self.total_report.merge(self.last_report)
+        return results
 
     def run(self, specs: Iterable[RunSpec]) -> dict[RunSpec, ActiveLearningResult]:
         """Execute (or load) every spec; returns results keyed by spec."""
@@ -536,21 +606,25 @@ class ExperimentEngine:
                     f"settings {spec.settings_hash}, but this engine runs "
                     f"{expected_hash}; rebuild the specs from the engine's settings")
 
+        if self.plan_only:
+            return self._plan(ordered)
+
         results: dict[RunSpec, ActiveLearningResult] = {}
         pending: list[RunSpec] = []
         from_store = from_memory = 0
-        for spec in ordered:
-            if spec in self._memory:
-                results[spec] = self._memory[spec]
-                from_memory += 1
-                continue
-            stored = self.store.get(spec) if self.store is not None else None
-            if stored is not None:
-                self._memory[spec] = stored
-                results[spec] = stored
-                from_store += 1
-            else:
-                pending.append(spec)
+        with collect_corruption_warnings("resume"):
+            for spec in ordered:
+                if spec in self._memory:
+                    results[spec] = self._memory[spec]
+                    from_memory += 1
+                    continue
+                stored = self.store.get(spec) if self.store is not None else None
+                if stored is not None:
+                    self._memory[spec] = stored
+                    results[spec] = stored
+                    from_store += 1
+                else:
+                    pending.append(spec)
 
         executed = 0
         try:
@@ -562,7 +636,7 @@ class ExperimentEngine:
                 results[spec] = result
                 executed += 1
                 if self.store is not None:
-                    self.store.put(spec, result)
+                    self.store.put(spec, result, manifest=self.manifest_id)
         finally:
             self.last_report = EngineReport(executed=executed,
                                             from_store=from_store,

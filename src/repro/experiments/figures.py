@@ -160,7 +160,11 @@ def _measures_timings_faithfully(engine: ExperimentEngine) -> bool:
     A warm store replays the timings recorded when the artifact was produced,
     and parallel workers contend for cores — either way the measured
     ``selection_seconds`` no longer describe this machine running one job.
+    A plan-only engine never measures anything, so there is nothing to
+    re-measure — spawning a real timing engine would defeat the dry run.
     """
+    if getattr(engine, "plan_only", False):
+        return True
     if engine.store is not None:
         return False
     executor = engine.executor

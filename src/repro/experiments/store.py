@@ -19,6 +19,7 @@ from __future__ import annotations
 import json
 import os
 import warnings
+from contextlib import contextmanager
 from pathlib import Path
 from typing import TYPE_CHECKING, Iterator
 
@@ -30,6 +31,36 @@ if TYPE_CHECKING:  # avoid a circular import; engine imports the store
 
 #: Bumped whenever the artifact payload layout changes incompatibly.
 FORMAT_VERSION = 1
+
+#: Active collectors for deferred corruption warnings (innermost last).
+_DEFERRED_CORRUPTION: list[list[str]] = []
+
+
+@contextmanager
+def collect_corruption_warnings(action: str = "resume") -> Iterator[list[str]]:
+    """Collapse per-artifact corruption warnings into one summary.
+
+    While the context is active, every corrupt artifact the store skips is
+    collected instead of warned about individually; on exit a single summary
+    warning names the action and the affected artifacts.  A 500-run resume
+    against a damaged store then produces one line, not 500.  Outside the
+    context (direct ``get`` calls, tests) the per-artifact warning remains.
+    """
+    collected: list[str] = []
+    _DEFERRED_CORRUPTION.append(collected)
+    try:
+        yield collected
+    finally:
+        _DEFERRED_CORRUPTION.pop()
+        if collected:
+            shown = ", ".join(collected[:5])
+            more = (f", … {len(collected) - 5} more"
+                    if len(collected) > 5 else "")
+            warnings.warn(
+                f"Skipped {len(collected)} corrupt artifact(s) during "
+                f"{action} ({shown}{more}); each affected run will be "
+                "re-executed",
+                stacklevel=3)
 
 
 class ArtifactStore:
@@ -76,6 +107,9 @@ class ArtifactStore:
             raise
         except (json.JSONDecodeError, UnicodeDecodeError, KeyError, TypeError,
                 ValueError) as error:
+            if _DEFERRED_CORRUPTION:
+                _DEFERRED_CORRUPTION[-1].append(path.name)
+                return None
             warnings.warn(
                 f"Skipping corrupt artifact {path} ({error.__class__.__name__}: "
                 f"{error}); the run will be re-executed",
@@ -90,14 +124,23 @@ class ArtifactStore:
         loaded = self._load(path)
         return loaded[1] if loaded is not None else None
 
-    def put(self, spec: "RunSpec", result: ActiveLearningResult) -> Path:
-        """Persist ``result`` under ``spec``'s fingerprint (atomically)."""
+    def put(self, spec: "RunSpec", result: ActiveLearningResult,
+            manifest: str | None = None) -> Path:
+        """Persist ``result`` under ``spec``'s fingerprint (atomically).
+
+        ``manifest`` optionally records which experiment manifest produced
+        the run (its ``name@hash`` identity) — purely provenance, additive
+        to the payload, so manifest-stamped and plain artifacts interoperate
+        within one format version.
+        """
         path = self.path_for(spec)
-        payload = {
+        payload: dict[str, object] = {
             "format_version": FORMAT_VERSION,
             "spec": spec.to_dict(),
             "result": result.to_dict(),
         }
+        if manifest is not None:
+            payload["manifest"] = manifest
         # Write-then-rename so a crashed run never leaves a truncated
         # artifact that a resume would try to load.
         temporary = path.with_suffix(".json.tmp")
@@ -114,11 +157,12 @@ class ArtifactStore:
 
         Yields the raw spec dictionary (not a RunSpec) so re-aggregation
         scripts can filter without importing the engine.  Corrupt artifacts
-        are skipped with a warning (see :meth:`get`).
+        are skipped and reported as one summary warning for the whole scan.
         """
-        for path in sorted(self.root.glob("*.json")):
-            loaded = self._load(path)
-            if loaded is None:
-                continue
-            payload, result = loaded
-            yield payload["spec"], result
+        with collect_corruption_warnings("store scan"):
+            for path in sorted(self.root.glob("*.json")):
+                loaded = self._load(path)
+                if loaded is None:
+                    continue
+                payload, result = loaded
+                yield payload["spec"], result

@@ -1,0 +1,120 @@
+"""Expand a linted manifest into its RunSpec grid.
+
+The expansion is pure and order-deterministic: statements expand in manifest
+order (grids before explicit runs, each grid as dataset × method × scenario
+× seed × α), and duplicate jobs are dropped by store fingerprint keeping the
+first occurrence.  Linting the same file twice therefore yields a
+byte-identical fingerprint list — the property the round-trip tests and the
+lockfile's grid hash rely on.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+
+from repro.config import get_scale
+from repro.exceptions import ManifestError
+from repro.experiments.configs import ExperimentSettings
+from repro.experiments.engine import RunSpec
+from repro.manifests.lint import LintReport, lint_manifest
+from repro.manifests.parser import ManifestSource
+from repro.manifests.schema import ManifestDocument
+from repro.neural.featurizer import FeaturizerConfig
+from repro.neural.matcher import MatcherConfig
+
+
+def build_settings(document: ManifestDocument) -> ExperimentSettings:
+    """The :class:`ExperimentSettings` every job of ``document`` runs under.
+
+    Run-shaping knobs come from the manifest's ``[settings]`` section with
+    the scale profile filling the gaps.  The grid-only fields (``datasets``,
+    ``num_seeds``, ``alphas``) are excluded from the settings fingerprint,
+    so pinning them here to the manifest's references and a single nominal
+    sweep keeps manifest runs store-compatible with ``repro experiments``
+    runs under the same knobs.
+    """
+    manifest = document.settings
+    scale = get_scale(manifest.scale)
+    matcher = dataclasses.replace(MatcherConfig(),
+                                  **dict(manifest.matcher_overrides))
+    featurizer = dataclasses.replace(FeaturizerConfig(),
+                                     **dict(manifest.featurizer_overrides))
+    return ExperimentSettings(
+        scale=scale,
+        datasets=document.referenced_datasets() or ("amazon_google",),
+        iterations=manifest.iterations or scale.iterations,
+        budget_per_iteration=(manifest.budget_per_iteration
+                              or scale.budget_per_iteration),
+        seed_size=manifest.seed_size or scale.seed_size,
+        num_seeds=1,
+        alphas=(0.5,),
+        beta=0.5,
+        matcher_config=matcher,
+        featurizer_config=featurizer,
+        base_random_seed=manifest.base_random_seed,
+    )
+
+
+def expand_run_specs(
+    document: ManifestDocument,
+    settings: ExperimentSettings | None = None,
+) -> list[RunSpec]:
+    """The deduplicated RunSpec grid of ``document``, in manifest order."""
+    settings = settings if settings is not None else build_settings(document)
+    base_seed = settings.base_random_seed
+    specs: list[RunSpec] = []
+    seen: set[str] = set()
+
+    def emit(spec: RunSpec) -> None:
+        fingerprint = spec.fingerprint()
+        if fingerprint not in seen:
+            seen.add(fingerprint)
+            specs.append(spec)
+
+    for grid in document.grids:
+        for dataset in grid.datasets:
+            for method in grid.methods:
+                # α only shapes battleship selection; other methods run the
+                # single nominal value so a sweep never multiplies them.
+                alphas = (grid.alphas if grid.alphas and method == "battleship"
+                          else (0.5,))
+                for scenario in grid.scenarios:
+                    for seed in grid.seed_values(base_seed):
+                        for alpha in alphas:
+                            emit(RunSpec.create(
+                                dataset, method, seed, alpha, grid.beta,
+                                grid.weak_supervision, settings,
+                                scenario=scenario))
+    for run in document.runs:
+        emit(RunSpec.create(
+            run.dataset, run.method,
+            run.seed if run.seed is not None else base_seed,
+            run.alpha, run.beta, run.weak_supervision, settings,
+            scenario=run.scenario))
+    return specs
+
+
+def grid_fingerprint(specs: list[RunSpec]) -> str:
+    """Order-sensitive hash of the expanded grid (pinned by the lockfile)."""
+    joined = "\n".join(spec.fingerprint() for spec in specs)
+    return hashlib.sha256(joined.encode("utf-8")).hexdigest()[:16]
+
+
+def build_manifest(
+    source: ManifestSource,
+) -> tuple[ManifestDocument, ExperimentSettings, list[RunSpec]]:
+    """Lint ``source`` and expand it, or fail with *every* lint error.
+
+    This is the programmatic entry the CLI's ``manifest build`` goes
+    through; callers wanting the issues individually use
+    :func:`~repro.manifests.lint.lint_manifest` directly.
+    """
+    report: LintReport = lint_manifest(source)
+    if not report.ok or report.document is None:
+        raise ManifestError(
+            f"{source.display_path} failed lint with "
+            f"{len(report.errors)} error(s):\n{report.render()}")
+    document = report.document
+    settings = build_settings(document)
+    return document, settings, expand_run_specs(document, settings)

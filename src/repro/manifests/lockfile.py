@@ -1,0 +1,115 @@
+"""Version pinning for manifests: content fingerprints in a lockfile.
+
+A manifest names things — benchmarks, scenarios, featurizer/matcher configs —
+whose *definitions* live in code.  Editing any of them silently changes what
+a re-run means.  ``repro manifest versions`` pins the content fingerprint of
+every referenced definition into ``<manifest>.lock.json`` next to the
+manifest; ``repro manifest build`` verifies the pins before executing and
+fails loudly on drift, listing every drifted component instead of the first.
+
+The lockfile is deterministic (sorted keys, no timestamps), so re-computing
+it in an unchanged tree is byte-identical — CI asserts exactly that.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.datasets.registry import benchmark_fingerprint
+from repro.experiments.configs import ExperimentSettings, config_fingerprint
+from repro.experiments.engine import RunSpec, settings_fingerprint
+from repro.manifests.build import grid_fingerprint
+from repro.manifests.schema import ManifestDocument
+from repro.scenarios import get_scenario
+
+#: Bumped whenever the lockfile layout changes incompatibly.
+LOCKFILE_FORMAT_VERSION = 1
+
+
+def lockfile_path(manifest_path: str | Path) -> Path:
+    """``campaign.toml`` → ``campaign.lock.json`` (same directory)."""
+    manifest_path = Path(manifest_path)
+    return manifest_path.with_name(f"{manifest_path.stem}.lock.json")
+
+
+def compute_lockfile(
+    document: ManifestDocument,
+    settings: ExperimentSettings,
+    specs: list[RunSpec],
+) -> dict[str, object]:
+    """Pin every content fingerprint the manifest's runs depend on."""
+    return {
+        "format_version": LOCKFILE_FORMAT_VERSION,
+        "manifest": {
+            "name": document.name,
+            "fingerprint": document.fingerprint(),
+        },
+        "settings_fingerprint": settings_fingerprint(settings),
+        "configs": {
+            "featurizer": config_fingerprint(settings.featurizer_config),
+            "matcher": config_fingerprint(settings.matcher_config),
+        },
+        "datasets": {
+            name: benchmark_fingerprint(name)
+            for name in sorted(document.referenced_datasets())
+        },
+        "scenarios": {
+            name: get_scenario(name).fingerprint()
+            for name in sorted(document.referenced_scenarios())
+        },
+        "grid": {
+            "runs": len(specs),
+            "fingerprint": grid_fingerprint(specs),
+        },
+    }
+
+
+def render_lockfile(data: dict[str, object]) -> str:
+    """Canonical lockfile text (stable across runs of an unchanged tree)."""
+    return json.dumps(data, sort_keys=True, indent=2) + "\n"
+
+
+def write_lockfile(path: str | Path, data: dict[str, object]) -> Path:
+    path = Path(path)
+    path.write_text(render_lockfile(data), encoding="utf-8")
+    return path
+
+
+def read_lockfile(path: str | Path) -> dict[str, object]:
+    return json.loads(Path(path).read_text(encoding="utf-8"))
+
+
+def _flatten(data: object, prefix: str = "") -> dict[str, object]:
+    if isinstance(data, dict):
+        flat: dict[str, object] = {}
+        for key, value in data.items():
+            dotted = f"{prefix}.{key}" if prefix else str(key)
+            flat.update(_flatten(value, dotted))
+        return flat
+    return {prefix: data}
+
+
+def lockfile_drift(
+    pinned: dict[str, object],
+    current: dict[str, object],
+) -> list[str]:
+    """Every difference between a pinned and a freshly computed lockfile.
+
+    Returns human-readable lines (empty when the pins still hold), one per
+    drifted, added, or removed component — the complete picture, so a stale
+    lockfile is fixed in one pass.
+    """
+    pinned_flat = _flatten(pinned)
+    current_flat = _flatten(current)
+    drift: list[str] = []
+    for key in sorted(pinned_flat.keys() | current_flat.keys()):
+        if key not in current_flat:
+            drift.append(f"{key}: pinned {pinned_flat[key]!r} is no longer "
+                         "referenced by the manifest")
+        elif key not in pinned_flat:
+            drift.append(f"{key}: {current_flat[key]!r} is not pinned yet")
+        elif pinned_flat[key] != current_flat[key]:
+            drift.append(f"{key}: pinned {pinned_flat[key]!r}, "
+                         f"now {current_flat[key]!r}")
+    return drift

@@ -13,6 +13,7 @@ from __future__ import annotations
 
 from typing import Iterable
 
+from repro._suggest import unknown_name_message
 from repro.datasets.corruptions import CLEAN_SOURCE, DIRTY_SOURCE
 from repro.exceptions import ConfigurationError
 from repro.scenarios.base import CorruptionRegime, OracleModel, Scenario
@@ -116,8 +117,7 @@ def get_scenario(name: str) -> Scenario:
         return _SCENARIOS[key]
     except KeyError:
         raise ConfigurationError(
-            f"Unknown scenario {name!r}; available: {sorted(_SCENARIOS)}"
-        ) from None
+            unknown_name_message("scenario", name, _SCENARIOS)) from None
 
 
 def resolve_scenarios(

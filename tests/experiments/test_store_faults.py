@@ -96,6 +96,31 @@ class TestCorruptArtifacts:
         with pytest.raises(ConfigurationError):
             store.get(spec)
 
+    def test_resume_collapses_corruption_warnings_into_one_summary(
+            self, tmp_path, fast_settings):
+        """Many damaged artifacts cost one summary warning, not one each."""
+        store_path = tmp_path / "store"
+        specs = (enumerate_run_specs("amazon_google", "random", fast_settings)
+                 + enumerate_run_specs("amazon_google", "dal", fast_settings))
+        ExperimentEngine(fast_settings,
+                         store=ArtifactStore(store_path)).run(specs)
+        store = ArtifactStore(store_path)
+        for spec in specs:
+            path = store.path_for(spec)
+            path.write_text(path.read_text()[:40])
+
+        resumed = ExperimentEngine(fast_settings,
+                                   store=ArtifactStore(store_path))
+        with pytest.warns(UserWarning) as caught:
+            resumed.run(specs)
+        corruption = [record for record in caught
+                      if "corrupt artifact" in str(record.message)]
+        assert len(corruption) == 1
+        message = str(corruption[0].message)
+        assert f"{len(specs)} corrupt artifact(s)" in message
+        assert "re-executed" in message
+        assert resumed.last_report.executed == len(specs)
+
     def test_resumed_sweep_reexecutes_only_the_corrupt_run(self, tmp_path,
                                                            fast_settings):
         """Acceptance: a damaged artifact costs one re-execution, not a crash."""

@@ -1,0 +1,136 @@
+"""Expansion: pure, order-deterministic, fingerprint-deduplicated."""
+
+import pytest
+
+from repro.exceptions import ManifestError
+from repro.manifests import (
+    build_manifest,
+    build_settings,
+    expand_run_specs,
+    grid_fingerprint,
+    lint_manifest,
+    parse_manifest_text,
+)
+
+MANIFEST = """
+[manifest]
+name = "build-me"
+
+[settings]
+scale = "tiny"
+iterations = 1
+budget_per_iteration = 8
+seed_size = 8
+
+[settings.matcher]
+hidden_dims = [24]
+epochs = 2
+
+[settings.featurizer]
+hash_dim = 32
+
+[[grid]]
+datasets = ["amazon_google"]
+methods = ["random", "dal"]
+scenarios = ["perfect", "noisy-0.1"]
+
+[[grid]]
+datasets = ["amazon_google"]
+methods = ["battleship"]
+alphas = [0.25, 0.75]
+seeds = { start = 7, count = 2 }
+
+[[run]]
+dataset = "amazon_google"
+method = "dal"
+scenario = "abstaining"
+seed = 11
+"""
+
+
+def _expand(text=MANIFEST):
+    report = lint_manifest(parse_manifest_text(text))
+    assert report.ok, report.render()
+    settings = build_settings(report.document)
+    return report.document, settings, expand_run_specs(report.document,
+                                                       settings)
+
+
+def test_expansion_is_deterministic():
+    _, _, first = _expand()
+    _, _, second = _expand()
+    assert [spec.fingerprint() for spec in first] == \
+           [spec.fingerprint() for spec in second]
+    assert grid_fingerprint(first) == grid_fingerprint(second)
+
+
+def test_expansion_order_and_count():
+    _, _, specs = _expand()
+    # grid 1: 1 dataset × 2 methods × 2 scenarios = 4; grid 2: 2 seeds × 2 α
+    # = 4; plus one explicit run.
+    assert len(specs) == 9
+    assert [(s.method, s.scenario, s.seed, s.alpha) for s in specs[:4]] == [
+        ("random", "perfect", 7, 0.5), ("random", "noisy-0.1", 7, 0.5),
+        ("dal", "perfect", 7, 0.5), ("dal", "noisy-0.1", 7, 0.5)]
+    assert [(s.seed, s.alpha) for s in specs[4:8]] == [
+        (7, 0.25), (7, 0.75), (20, 0.25), (20, 0.75)]
+    assert specs[8].scenario == "abstaining" and specs[8].seed == 11
+
+
+def test_duplicate_jobs_are_dropped_keeping_first():
+    text = MANIFEST + """
+[[run]]
+dataset = "amazon_google"
+method = "random"
+scenario = "perfect"
+seed = 7
+"""
+    _, _, specs = _expand(text)
+    assert len(specs) == 9  # the explicit duplicate of grid 1's first job
+
+
+def test_seed_range_matches_harness_stride():
+    _, settings, specs = _expand()
+    battleship_seeds = sorted({s.seed for s in specs if s.method == "battleship"})
+    assert battleship_seeds == [7, 7 + 13]
+
+
+def test_settings_mapping():
+    document, settings, _ = _expand()
+    assert settings.scale.name == "tiny"
+    assert settings.iterations == 1
+    assert settings.budget_per_iteration == 8
+    assert settings.seed_size == 8
+    assert settings.matcher_config.hidden_dims == (24,)
+    assert settings.matcher_config.epochs == 2
+    assert settings.featurizer_config.hash_dim == 32
+    assert settings.datasets == ("amazon_google",)
+
+
+def test_settings_defaults_come_from_scale():
+    text = MANIFEST.replace("iterations = 1\n", "") \
+                   .replace("budget_per_iteration = 8\n", "") \
+                   .replace("seed_size = 8\n", "")
+    _, settings, _ = _expand(text)
+    assert settings.iterations == settings.scale.iterations
+    assert settings.budget_per_iteration == settings.scale.budget_per_iteration
+    assert settings.seed_size == settings.scale.seed_size
+
+
+def test_build_manifest_raises_with_every_lint_error():
+    bad = MANIFEST.replace('"amazon_google"', '"amazon_googel"') \
+                  .replace('scale = "tiny"', 'scale = "tinny"')
+    with pytest.raises(ManifestError) as excinfo:
+        build_manifest(parse_manifest_text(bad))
+    message = str(excinfo.value)
+    assert "amazon_googel" in message
+    assert "tinny" in message
+
+
+def test_manifest_id_is_content_addressed():
+    document, _, _ = _expand()
+    renamed, _, _ = _expand(MANIFEST.replace('"build-me"', '"renamed"'))
+    assert document.manifest_id().startswith("build-me@")
+    assert document.fingerprint() != renamed.fingerprint()
+    same, _, _ = _expand()
+    assert document.manifest_id() == same.manifest_id()

@@ -1,0 +1,156 @@
+"""Linting: every error at once, each anchored to a field and a line."""
+
+import pytest
+
+from repro.exceptions import ManifestError
+from repro.manifests import lint_manifest, load_manifest, parse_manifest_text
+
+GOOD_MANIFEST = """
+[manifest]
+name = "good"
+description = "a valid manifest"
+
+[settings]
+scale = "tiny"
+iterations = 1
+
+[settings.matcher]
+hidden_dims = [24]
+epochs = 2
+
+[[grid]]
+datasets = ["amazon_google"]
+methods = ["random", "battleship"]
+scenarios = ["perfect", "noisy-0.1"]
+alphas = [0.25, 0.75]
+
+[[run]]
+dataset = "abt_buy"
+method = "dal"
+seed = 11
+"""
+
+# Five distinct, independently locatable mistakes.
+BAD_MANIFEST = """
+[manifest]
+name = "bad"
+
+[settings]
+scale = "mediun"
+
+[[grid]]
+datasets = ["amazon_googel"]
+methods = ["battleshp"]
+beta = 2.0
+
+[[run]]
+dataset = "abt_buy"
+method = "dal"
+scenario = "noisy-01"
+"""
+
+
+def test_good_manifest_lints_clean():
+    report = lint_manifest(parse_manifest_text(GOOD_MANIFEST))
+    assert report.ok
+    assert report.document is not None
+    assert report.document.name == "good"
+    assert report.document.referenced_datasets() == ("amazon_google", "abt_buy")
+    assert "noisy-0.1" in report.document.referenced_scenarios()
+    # battleship + random share the grid: alphas trigger only a warning
+    assert [issue.severity for issue in report.issues] in ([], ["warning"])
+
+
+def test_all_errors_reported_in_one_pass():
+    report = lint_manifest(parse_manifest_text(BAD_MANIFEST))
+    assert not report.ok
+    fields = [issue.field for issue in report.errors]
+    assert "settings.scale" in fields
+    assert "grid[0].datasets[0]" in fields
+    assert "grid[0].methods[0]" in fields
+    assert "grid[0].beta" in fields
+    assert "run[0].scenario" in fields
+    assert len(report.errors) >= 5
+
+
+def test_errors_carry_line_numbers_and_suggestions():
+    report = lint_manifest(parse_manifest_text(BAD_MANIFEST))
+    by_field = {issue.field: issue for issue in report.errors}
+    scale = by_field["settings.scale"]
+    assert scale.line == 6
+    assert "did you mean 'medium'" in scale.message
+    dataset = by_field["grid[0].datasets[0]"]
+    assert dataset.line == 9
+    assert "amazon_google" in dataset.message
+    rendered = dataset.render()
+    assert rendered.startswith("error: grid[0].datasets[0]:")
+    assert "(line 9)" in rendered
+
+
+def test_alphas_without_battleship_is_an_error():
+    text = GOOD_MANIFEST.replace('methods = ["random", "battleship"]',
+                                 'methods = ["random"]')
+    report = lint_manifest(parse_manifest_text(text))
+    assert any(issue.field == "grid[0].alphas" for issue in report.errors)
+
+
+def test_unknown_config_override_field_is_an_error():
+    text = GOOD_MANIFEST.replace("epochs = 2", "epoch = 2")
+    report = lint_manifest(parse_manifest_text(text))
+    issue = next(i for i in report.errors
+                 if i.field == "settings.matcher.epoch")
+    assert "did you mean 'epochs'" in issue.message
+
+
+def test_config_invariants_are_checked():
+    text = GOOD_MANIFEST.replace("epochs = 2", "epochs = -1")
+    report = lint_manifest(parse_manifest_text(text))
+    assert any("epochs" in issue.message for issue in report.errors)
+
+
+def test_seed_range_requires_start_and_count():
+    text = GOOD_MANIFEST + "\n[[grid]]\ndatasets = [\"abt_buy\"]\n" \
+                           "methods = [\"random\"]\nseeds = { stride = 5 }\n"
+    report = lint_manifest(parse_manifest_text(text))
+    messages = [issue.message for issue in report.errors]
+    assert any("'start'" in message for message in messages)
+    assert any("'count'" in message for message in messages)
+
+
+def test_empty_manifest_needs_a_grid_or_run():
+    report = lint_manifest(parse_manifest_text(
+        '[manifest]\nname = "empty"\n'))
+    assert any("at least one" in issue.message for issue in report.errors)
+
+
+def test_missing_manifest_section_is_an_error():
+    report = lint_manifest(parse_manifest_text(
+        '[[run]]\ndataset = "abt_buy"\nmethod = "dal"\n'))
+    assert any(issue.field == "manifest" for issue in report.errors)
+
+
+def test_unknown_top_level_section_is_an_error():
+    report = lint_manifest(parse_manifest_text(
+        GOOD_MANIFEST + "\n[grids]\nx = 1\n"))
+    assert any(issue.field == "grids" for issue in report.errors)
+
+
+def test_json_manifests_lint_without_line_numbers():
+    report = lint_manifest(parse_manifest_text(
+        '{"manifest": {"name": "j"}, '
+        '"run": [{"dataset": "nope", "method": "dal"}]}',
+        format="json"))
+    issue = next(i for i in report.errors if i.field == "run[0].dataset")
+    assert issue.line is None
+
+
+def test_toml_syntax_error_raises_manifest_error(tmp_path):
+    path = tmp_path / "broken.toml"
+    path.write_text("[manifest\nname =", encoding="utf-8")
+    with pytest.raises(ManifestError, match="invalid TOML"):
+        load_manifest(path)
+
+
+def test_missing_file_raises_manifest_error(tmp_path):
+    with pytest.raises(ManifestError, match="not found"):
+        load_manifest(tmp_path / "absent.toml")

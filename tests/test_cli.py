@@ -104,6 +104,19 @@ class TestCommands:
         assert (first[:first.index("\nengine:")]
                 == second[:second.index("\nengine:")])
 
+    def test_experiments_dry_run_plans_without_executing(self, tmp_path,
+                                                         capsys):
+        store = tmp_path / "artifacts"
+        argv = ["experiments", "--scale", "tiny", "--dry-run",
+                "--store", str(store), "--table", "5",
+                "--datasets", "amazon_google", "--methods", "random"]
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "dry-run: 1 runs would execute" in out
+        # No figures/tables are rendered and nothing is persisted.
+        assert "Table 5" not in out
+        assert not (store.exists() and list(store.glob("*.json")))
+
     def test_scenarios_list_command(self, capsys):
         assert main(["scenarios", "--list"]) == 0
         output = capsys.readouterr().out
