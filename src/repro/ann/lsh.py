@@ -82,10 +82,15 @@ class LSHNearestNeighbors:
         indices = np.full((n_queries, k), -1, dtype=np.int64)
         similarities = np.full((n_queries, k), -np.inf, dtype=np.float64)
 
+        # Hash every query against every table up front: one matmul per
+        # table instead of one row-sized matmul per (query, table) pair,
+        # which dominated query() time for batch lookups.
+        codes_per_table = [self._hash(queries, table)
+                           for table in range(self.num_tables)]
         for row in range(n_queries):
             candidates: set[int] = set()
             for table in range(self.num_tables):
-                code = int(self._hash(queries[row:row + 1], table)[0])
+                code = int(codes_per_table[table][row])
                 candidates.update(self._tables[table].get(code, ()))
             if exclude_self:
                 candidates.discard(row)

@@ -1,18 +1,38 @@
 """Blocking substrate: token, q-gram, and MinHash-LSH blockers plus evaluation."""
 
-from repro.blocking.base import Blocker, record_blocking_text
-from repro.blocking.evaluation import BlockingReport, evaluate_blocking
+from repro.blocking.base import DEFAULT_CHUNK_SIZE, Blocker, record_blocking_text
+from repro.blocking.evaluation import (
+    BlockingReport,
+    evaluate_blocking,
+    evaluate_blocking_stream,
+)
 from repro.blocking.minhash_lsh import MinHashLSHBlocker, MinHashSignature
 from repro.blocking.qgram_blocking import QGramBlocker
+from repro.blocking.registry import (
+    available_blockers,
+    create_blocker,
+    get_blocker_factory,
+    register_blocker,
+)
+from repro.blocking.sharding import shard_ranges
 from repro.blocking.token_blocking import TokenBlocker
+from repro.blocking.topk import TopKCandidateBlocker
 
 __all__ = [
     "Blocker",
     "BlockingReport",
+    "DEFAULT_CHUNK_SIZE",
     "MinHashLSHBlocker",
     "MinHashSignature",
     "QGramBlocker",
     "TokenBlocker",
+    "TopKCandidateBlocker",
+    "available_blockers",
+    "create_blocker",
     "evaluate_blocking",
+    "evaluate_blocking_stream",
+    "get_blocker_factory",
     "record_blocking_text",
+    "register_blocker",
+    "shard_ranges",
 ]

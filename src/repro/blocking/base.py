@@ -11,18 +11,76 @@ two tables to a set of candidate ``(left_id, right_id)`` keys.
 from __future__ import annotations
 
 import abc
-from typing import Iterable
+from typing import Iterable, Iterator
 
 from repro.data.pair import CandidatePair, PairSet
 from repro.data.record import Record, Table
+
+#: Default number of candidate pairs per :meth:`Blocker.block_iter` chunk.
+DEFAULT_CHUNK_SIZE = 10_000
 
 
 class Blocker(abc.ABC):
     """Base class for blocking strategies."""
 
+    #: Peak number of candidate pairs buffered by the most recent
+    #: :meth:`block_iter` run.  Streaming implementations bound this by
+    #: roughly ``chunk_size`` plus one left-group's candidates; the default
+    #: (materializing) implementation reports the full candidate count.
+    last_stream_peak: int = 0
+
     @abc.abstractmethod
     def block(self, left: Table, right: Table) -> set[tuple[str, str]]:
         """Return candidate ``(left_id, right_id)`` keys."""
+
+    def block_iter(
+        self,
+        left: Table,
+        right: Table,
+        chunk_size: int = DEFAULT_CHUNK_SIZE,
+    ) -> Iterator[list[tuple[str, str]]]:
+        """Yield the candidate keys as deduplicated chunks.
+
+        Contract (all implementations): each chunk holds at most
+        ``chunk_size`` pairs, no pair appears twice across the stream, and
+        the union of all chunks equals :meth:`block`.  This default
+        materializes :meth:`block` and slices it — correct for any blocker —
+        while streaming blockers override it to keep peak candidate memory
+        proportional to ``chunk_size`` instead of the full pair set.
+        """
+        if chunk_size < 1:
+            raise ValueError(f"chunk_size must be >= 1, got {chunk_size}")
+        ordered = sorted(self.block(left, right))
+        self.last_stream_peak = len(ordered)
+        for start in range(0, len(ordered), chunk_size):
+            yield ordered[start:start + chunk_size]
+
+    def _stream_chunks(
+        self,
+        groups: Iterator[Iterable[tuple[str, str]]],
+        chunk_size: int,
+    ) -> Iterator[list[tuple[str, str]]]:
+        """Re-chunk per-group candidate iterables into ``chunk_size`` lists.
+
+        Shared buffering loop of the streaming ``block_iter`` overrides:
+        ``groups`` must yield internally-deduplicated, pairwise-disjoint
+        candidate groups (streaming blockers partition the left table to get
+        this for free).  Tracks the peak buffer occupancy in
+        ``last_stream_peak`` so tests can assert the memory bound.
+        """
+        buffer: list[tuple[str, str]] = []
+        peak = 0
+        self.last_stream_peak = 0
+        for group in groups:
+            buffer.extend(group)
+            if len(buffer) > peak:
+                peak = len(buffer)
+                self.last_stream_peak = peak
+            while len(buffer) >= chunk_size:
+                yield buffer[:chunk_size]
+                del buffer[:chunk_size]
+        if buffer:
+            yield buffer
 
     def candidate_pairs(
         self,

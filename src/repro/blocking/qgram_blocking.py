@@ -3,11 +3,34 @@
 from __future__ import annotations
 
 from collections import defaultdict
-from typing import Iterable
+from typing import Iterable, Iterator, NamedTuple, Sequence
 
-from repro.blocking.base import Blocker, record_blocking_text
+import numpy as np
+
+from repro.blocking._arrays import (
+    SortedPostings,
+    build_occurrences,
+    unpack_pairs,
+)
+from repro.blocking.base import DEFAULT_CHUNK_SIZE, Blocker, record_blocking_text
 from repro.data.record import Table
-from repro.text.tokenization import qgram_set
+from repro.text.tokenization import qgram_set, qgram_sets
+
+#: Left rows per internal counting group of the collect-all :meth:`block`
+#: path.  All grams of a left record live in its group, so per-pair gram
+#: counts are complete within a group and ``min_shared_qgrams`` can be
+#: applied group-wise — peak memory is one group's pair multiset, never the
+#: table-wide ``dict[(left_id, right_id), int]`` the seed accumulated.
+_BLOCK_GROUP_ROWS = 512
+
+
+class _QGramJoinState(NamedTuple):
+    """Stop-filtered gram occurrence arrays of one table pair."""
+
+    left_keys: np.ndarray   # kept left occurrences, sorted by left row
+    left_rows: np.ndarray
+    postings: SortedPostings
+    num_left: int
 
 
 class QGramBlocker(Blocker):
@@ -17,6 +40,21 @@ class QGramBlocker(Blocker):
     ``min_shared_qgrams`` q-grams that are not stop grams.  Compared to token
     blocking this tolerates typos (a single character edit invalidates at most
     ``q`` grams) at the cost of more candidates.
+
+    Shared-gram counting is chunk-wise: left records are processed in
+    contiguous groups, each group's gram collisions become a packed pair
+    multiset counted with ``np.unique(return_counts=True)``, and the
+    threshold is applied per group.  The seed path — one global
+    ``dict[(left_id, right_id), int]`` over every collision, whose peak
+    memory is the *unfiltered* pair multiset — remains as
+    :meth:`block_reference`.
+
+    Parameters
+    ----------
+    num_shards / num_workers:
+        Deterministic contiguous shards for the q-gram extraction pass and
+        the process workers computing them (1 = in-process); see
+        :mod:`repro.blocking.sharding`.
     """
 
     def __init__(
@@ -25,6 +63,8 @@ class QGramBlocker(Blocker):
         q: int = 3,
         min_shared_qgrams: int = 2,
         max_block_size: int = 400,
+        num_shards: int = 1,
+        num_workers: int = 1,
     ) -> None:
         if q < 1:
             raise ValueError("q must be >= 1")
@@ -32,11 +72,101 @@ class QGramBlocker(Blocker):
             raise ValueError("min_shared_qgrams must be >= 1")
         if max_block_size < 1:
             raise ValueError("max_block_size must be >= 1")
+        if num_shards < 1:
+            raise ValueError("num_shards must be >= 1")
+        if num_workers < 1:
+            raise ValueError("num_workers must be >= 1")
         self.attributes = tuple(attributes) if attributes is not None else None
         self.q = q
         self.min_shared_qgrams = min_shared_qgrams
         self.max_block_size = max_block_size
+        self.num_shards = num_shards
+        self.num_workers = num_workers
 
+    def _texts(self, table: Table) -> list[str]:
+        return [record_blocking_text(record, self.attributes) for record in table]
+
+    def shard_features(self, texts: Sequence[str]) -> list[set[str]]:
+        """Q-gram sets of one shard of texts (the unit shipped to workers)."""
+        return qgram_sets(texts, q=self.q)
+
+    def _table_features(self, table: Table) -> list[set[str]]:
+        from repro.blocking.sharding import map_text_shards
+        shards = map_text_shards(self, "shard_features", self._texts(table),
+                                 num_shards=self.num_shards,
+                                 num_workers=self.num_workers)
+        return [features for shard in shards for features in shard]
+
+    def _prepare(self, left: Table, right: Table) -> _QGramJoinState:
+        left_features = self._table_features(left)
+        right_features = self._table_features(right)
+        left_keys, left_rows, right_keys, right_rows, num_keys = \
+            build_occurrences(left_features, right_features)
+        left_counts = np.bincount(left_keys, minlength=num_keys)
+        right_counts = np.bincount(right_keys, minlength=num_keys)
+        stop = ((left_counts > self.max_block_size)
+                | (right_counts > self.max_block_size))
+        keep_left = ~stop[left_keys]
+        keep_right = ~stop[right_keys]
+        left_keys = left_keys[keep_left]
+        left_rows = left_rows[keep_left]
+        order = np.argsort(left_rows, kind="stable")
+        return _QGramJoinState(
+            left_keys=left_keys[order],
+            left_rows=left_rows[order],
+            postings=SortedPostings(right_keys[keep_right],
+                                    right_rows[keep_right]),
+            num_left=len(left),
+        )
+
+    def _group_packed(self, state: _QGramJoinState,
+                      row_start: int, row_stop: int) -> np.ndarray:
+        """Thresholded packed pairs of left rows ``[row_start, row_stop)``.
+
+        The group's join output is the gram-collision multiset (one entry
+        per shared, non-stop gram), so ``np.unique`` counts are exactly the
+        seed's ``shared_counts`` values for these left records.
+        """
+        lo = np.searchsorted(state.left_rows, row_start, side="left")
+        hi = np.searchsorted(state.left_rows, row_stop, side="left")
+        packed = state.postings.join(state.left_keys[lo:hi],
+                                     state.left_rows[lo:hi])
+        pairs, counts = np.unique(packed, return_counts=True)
+        return pairs[counts >= self.min_shared_qgrams]
+
+    def block(self, left: Table, right: Table) -> set[tuple[str, str]]:
+        state = self._prepare(left, right)
+        left_ids = left.record_ids
+        right_ids = right.record_ids
+        candidates: set[tuple[str, str]] = set()
+        for start in range(0, state.num_left, _BLOCK_GROUP_ROWS):
+            packed = self._group_packed(state, start, start + _BLOCK_GROUP_ROWS)
+            rows_l, rows_r = unpack_pairs(packed)
+            candidates.update(zip(map(left_ids.__getitem__, rows_l.tolist()),
+                                  map(right_ids.__getitem__, rows_r.tolist())))
+        return candidates
+
+    def block_iter(self, left: Table, right: Table,
+                   chunk_size: int = DEFAULT_CHUNK_SIZE,
+                   ) -> Iterator[list[tuple[str, str]]]:
+        """Stream candidate chunks; see :meth:`Blocker.block_iter` contract."""
+        if chunk_size < 1:
+            raise ValueError(f"chunk_size must be >= 1, got {chunk_size}")
+        state = self._prepare(left, right)
+        left_ids = left.record_ids
+        right_ids = right.record_ids
+        group_size = max(1, chunk_size // 8)
+
+        def groups() -> Iterator[Iterable[tuple[str, str]]]:
+            for start in range(0, state.num_left, group_size):
+                packed = self._group_packed(state, start, start + group_size)
+                rows_l, rows_r = unpack_pairs(packed)
+                yield zip(map(left_ids.__getitem__, rows_l.tolist()),
+                          map(right_ids.__getitem__, rows_r.tolist()))
+
+        yield from self._stream_chunks(groups(), chunk_size)
+
+    # -- reference path ------------------------------------------------------ #
     def _index(self, table: Table) -> dict[str, set[str]]:
         index: dict[str, set[str]] = defaultdict(set)
         for record in table:
@@ -45,7 +175,8 @@ class QGramBlocker(Blocker):
                 index[gram].add(record.record_id)
         return index
 
-    def block(self, left: Table, right: Table) -> set[tuple[str, str]]:
+    def block_reference(self, left: Table, right: Table) -> set[tuple[str, str]]:
+        """The seed per-gram path: executable specification for :meth:`block`."""
         left_index = self._index(left)
         right_index = self._index(right)
         shared_counts: dict[tuple[str, str], int] = defaultdict(int)

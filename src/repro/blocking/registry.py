@@ -1,0 +1,67 @@
+"""Blocker registry: construct blockers declaratively by name.
+
+Mirrors the registry conventions of :mod:`repro.datasets.registry` and the
+scenario registry: a name → factory mapping with did-you-mean lookup errors
+(:func:`repro._suggest.unknown_name_message`), so experiment manifests can
+name a blocker and the lint pass can validate it before anything runs.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro._suggest import unknown_name_message
+from repro.blocking.base import Blocker
+from repro.blocking.minhash_lsh import MinHashLSHBlocker
+from repro.blocking.qgram_blocking import QGramBlocker
+from repro.blocking.token_blocking import TokenBlocker
+from repro.blocking.topk import TopKCandidateBlocker
+from repro.exceptions import ConfigurationError
+
+#: Factory signature: keyword arguments forwarded verbatim to the blocker.
+BlockerFactory = Callable[..., Blocker]
+
+_BLOCKER_FACTORIES: dict[str, BlockerFactory] = {}
+
+
+def register_blocker(name: str, factory: BlockerFactory,
+                     replace: bool = False) -> None:
+    """Register ``factory`` under ``name``.
+
+    Re-registering an existing name raises unless ``replace`` is set — a
+    silent overwrite would let two manifests mean different blockers by the
+    same name.
+    """
+    if not replace and name in _BLOCKER_FACTORIES:
+        raise ConfigurationError(
+            f"Blocker {name!r} is already registered; pass replace=True to "
+            f"overwrite it")
+    _BLOCKER_FACTORIES[name] = factory
+
+
+def available_blockers() -> tuple[str, ...]:
+    """Registered blocker names, sorted."""
+    return tuple(sorted(_BLOCKER_FACTORIES))
+
+
+def get_blocker_factory(name: str) -> BlockerFactory:
+    """Look up the factory for ``name`` (did-you-mean error when unknown)."""
+    try:
+        return _BLOCKER_FACTORIES[name]
+    except KeyError:
+        raise ConfigurationError(
+            unknown_name_message("blocker", name, _BLOCKER_FACTORIES)) from None
+
+
+def create_blocker(name: str, **kwargs) -> Blocker:
+    """Instantiate the blocker registered under ``name``."""
+    return get_blocker_factory(name)(**kwargs)
+
+
+register_blocker("token", TokenBlocker)
+register_blocker("qgram", QGramBlocker)
+register_blocker("minhash", MinHashLSHBlocker)
+register_blocker(
+    "minhash-qgram",
+    lambda **kwargs: MinHashLSHBlocker(use_qgrams=True, **kwargs))
+register_blocker("topk-minhash", TopKCandidateBlocker)

@@ -442,6 +442,39 @@ class ParallelExecutor:
                         yield spec, future.result()
                 raise
 
+    def map_indexed(
+        self,
+        fn: Callable,
+        items: Sequence,
+        initializer: Callable | None = None,
+        initargs: tuple = (),
+    ) -> list:
+        """Run ``fn`` over ``items`` on the pool; results in *item* order.
+
+        The generic fan-out entry point for embarrassingly parallel work
+        that is not an active-learning run — the sharded blocking index
+        build (:mod:`repro.blocking.sharding`) is the first consumer.  It
+        reuses the executor's spawn-safe initializer pattern: per-worker
+        state travels once through ``initializer``/``initargs`` instead of
+        once per task, and completion order never leaks into the result
+        order.  ``fn``, ``initializer``, and every item must be picklable
+        (top-level callables).
+        """
+        items = list(items)
+        if not items:
+            return []
+        with ProcessPoolExecutor(
+            max_workers=min(self.jobs, len(items)),
+            initializer=initializer,
+            initargs=initargs,
+        ) as pool:
+            futures = {pool.submit(fn, item): index
+                       for index, item in enumerate(items)}
+            results: list = [None] * len(items)
+            for future in as_completed(futures):
+                results[futures[future]] = future.result()
+        return results
+
 
 # --------------------------------------------------------------------------- #
 # Engine

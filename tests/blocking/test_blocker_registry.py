@@ -1,0 +1,54 @@
+"""Tests for the blocker registry."""
+
+import pytest
+
+from repro.blocking import (
+    MinHashLSHBlocker,
+    QGramBlocker,
+    TokenBlocker,
+    TopKCandidateBlocker,
+    available_blockers,
+    create_blocker,
+    register_blocker,
+)
+from repro.blocking.registry import _BLOCKER_FACTORIES, get_blocker_factory
+from repro.exceptions import ConfigurationError
+
+
+class TestBlockerRegistry:
+    def test_builtins_registered(self):
+        names = available_blockers()
+        for name in ("token", "qgram", "minhash", "minhash-qgram",
+                     "topk-minhash"):
+            assert name in names
+
+    def test_create_blocker_types(self):
+        assert isinstance(create_blocker("token"), TokenBlocker)
+        assert isinstance(create_blocker("qgram"), QGramBlocker)
+        assert isinstance(create_blocker("minhash"), MinHashLSHBlocker)
+        assert isinstance(create_blocker("topk-minhash", k=3),
+                          TopKCandidateBlocker)
+
+    def test_minhash_qgram_preset(self):
+        blocker = create_blocker("minhash-qgram", random_state=0)
+        assert blocker.use_qgrams
+
+    def test_kwargs_forwarded(self):
+        blocker = create_blocker("token", max_block_size=7)
+        assert blocker.max_block_size == 7
+
+    def test_unknown_name_suggests(self):
+        with pytest.raises(ConfigurationError, match="did you mean"):
+            get_blocker_factory("minhsh")
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(ConfigurationError, match="already registered"):
+            register_blocker("token", TokenBlocker)
+
+    def test_replace_registration(self):
+        original = _BLOCKER_FACTORIES["token"]
+        try:
+            register_blocker("token", QGramBlocker, replace=True)
+            assert isinstance(create_blocker("token"), QGramBlocker)
+        finally:
+            register_blocker("token", original, replace=True)

@@ -1,0 +1,86 @@
+"""Tests for the top-k candidate router."""
+
+from collections import Counter
+
+import pytest
+
+from repro.blocking.topk import TopKCandidateBlocker
+from repro.data.record import Record, Table
+from repro.data.schema import Schema
+
+_SCHEMA = Schema.from_names(["title"])
+
+
+def _table(name, titles):
+    table = Table(name, _SCHEMA)
+    for i, title in enumerate(titles):
+        table.add(Record(f"{name}{i}", {"title": title}))
+    return table
+
+
+@pytest.fixture()
+def duplicate_heavy_tables():
+    """A hostile pool: most records share near-identical text, so plain
+    banding produces a near-quadratic candidate set."""
+    titles = ["universal usb c charging cable black 1m"] * 30
+    titles += [f"universal usb c charging cable black {i}m" for i in range(5)]
+    return _table("l", titles), _table("r", titles)
+
+
+class TestTopKCandidateBlocker:
+    def test_bounds_duplicate_heavy_pools(self, duplicate_heavy_tables):
+        left, right = duplicate_heavy_tables
+        k = 3
+        blocker = TopKCandidateBlocker(k=k, num_permutations=32, num_bands=8,
+                                       random_state=0)
+        pool = blocker.block(left, right)
+        per_left = Counter(left_id for left_id, _ in pool)
+        assert max(per_left.values()) <= k
+        assert len(pool) <= k * len(left)
+        # Plain banding on this pool would be near-quadratic.
+        unbounded = blocker._blocker.block(left, right)
+        assert len(unbounded) > len(pool)
+
+    def test_deterministic_across_calls(self, duplicate_heavy_tables):
+        left, right = duplicate_heavy_tables
+        blocker = TopKCandidateBlocker(k=2, num_permutations=32, num_bands=8,
+                                       random_state=7)
+        assert blocker.block(left, right) == blocker.block(left, right)
+        rebuilt = TopKCandidateBlocker(k=2, num_permutations=32, num_bands=8,
+                                       random_state=7)
+        assert rebuilt.block(left, right) == blocker.block(left, right)
+
+    def test_ann_fallback_covers_bandless_records(self):
+        """A left record whose tokens collide with nothing in any band must
+        still get candidates through the ANN route."""
+        left = _table("l", ["zzyzx qwfp arst"])
+        right = _table("r", ["nikon coolpix p900", "canon eos rebel"])
+        with_fallback = TopKCandidateBlocker(
+            k=2, num_permutations=16, num_bands=8, random_state=0)
+        without = TopKCandidateBlocker(
+            k=2, num_permutations=16, num_bands=8, random_state=0,
+            ann_fallback=False)
+        assert len(with_fallback.block(left, right)) > 0
+        assert without.block(left, right) == set()
+
+    def test_blank_records_stay_out(self):
+        left = _table("l", ["", "nikon coolpix"])
+        right = _table("r", ["", "nikon coolpix zoom"])
+        pool = TopKCandidateBlocker(k=2, num_permutations=16, num_bands=8,
+                                    random_state=0).block(left, right)
+        assert not any(left_id == "l0" or right_id == "r0"
+                       for left_id, right_id in pool)
+
+    def test_invalid_k(self):
+        with pytest.raises(ValueError):
+            TopKCandidateBlocker(k=0)
+
+    def test_block_iter_inherited_contract(self, duplicate_heavy_tables):
+        left, right = duplicate_heavy_tables
+        blocker = TopKCandidateBlocker(k=2, num_permutations=32, num_bands=8,
+                                       random_state=0)
+        chunks = list(blocker.block_iter(left, right, chunk_size=5))
+        pairs = [pair for chunk in chunks for pair in chunk]
+        assert set(pairs) == blocker.block(left, right)
+        assert len(pairs) == len(set(pairs))
+        assert all(len(chunk) <= 5 for chunk in chunks)

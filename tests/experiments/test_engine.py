@@ -319,6 +319,38 @@ class TestEngine:
                     == [r.test_metrics for r in serial[spec].records])
 
 
+def _square(value: int) -> int:
+    return value * value
+
+
+_MAP_WORKER_BASE = 0
+
+
+def _init_map_worker(base: int) -> None:
+    global _MAP_WORKER_BASE
+    _MAP_WORKER_BASE = base
+
+
+def _add_base(value: int) -> int:
+    return value + _MAP_WORKER_BASE
+
+
+class TestMapIndexed:
+    def test_results_in_item_order(self):
+        executor = ParallelExecutor(jobs=2)
+        assert executor.map_indexed(_square, range(10)) == \
+            [value * value for value in range(10)]
+
+    def test_empty_items(self):
+        assert ParallelExecutor(jobs=2).map_indexed(_square, []) == []
+
+    def test_initializer_state_reaches_workers(self):
+        results = ParallelExecutor(jobs=2).map_indexed(
+            _add_base, [1, 2, 3],
+            initializer=_init_map_worker, initargs=(100,))
+        assert results == [101, 102, 103]
+
+
 class TestFigure6TimingGuard:
     def test_parallel_store_engine_remeasures_and_hands_results_back(
             self, tmp_path, fast_settings):
