@@ -1,0 +1,104 @@
+"""Committed baseline of grandfathered findings.
+
+A baseline lets ``repro lint-code`` gate CI from day one: pre-existing
+findings that are consciously accepted live in a reviewed, committed file,
+and only *new* findings fail the build.  Entries are keyed by
+``(file, rule, stripped source line)`` rather than line numbers, so
+unrelated edits above a grandfathered site do not invalidate the baseline,
+while any change to the flagged line itself does — exactly when a human
+should re-look.
+
+The repository's own baseline (``reprolint-baseline.json``) is empty: every
+real finding of the initial sweep was either fixed or carries an inline
+``# repro: noqa[RULE] reason`` justification.  Keep it that way; the
+baseline mechanism exists for future sweeps that widen a rule.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.analysis.core import Finding
+from repro.exceptions import ConfigurationError
+
+BASELINE_VERSION = 1
+
+#: Default file name, resolved relative to the lint invocation's root.
+DEFAULT_BASELINE_NAME = "reprolint-baseline.json"
+
+
+@dataclass(frozen=True)
+class BaselineEntry:
+    """One grandfathered finding, content-addressed within its file."""
+
+    file: str
+    rule: str
+    content: str  # the stripped source line the finding anchors to
+
+    def to_dict(self) -> dict[str, str]:
+        return {"file": self.file, "rule": self.rule, "content": self.content}
+
+
+def entry_for(finding: Finding, source_lines: list[str]) -> BaselineEntry:
+    """The baseline key of ``finding`` given its file's source lines."""
+    index = finding.line - 1
+    content = (source_lines[index].strip()
+               if 0 <= index < len(source_lines) else "")
+    return BaselineEntry(file=finding.file, rule=finding.rule,
+                         content=content)
+
+
+def read_baseline(path: Path) -> list[BaselineEntry]:
+    """Load a baseline file, validating its version."""
+    try:
+        payload = json.loads(path.read_text(encoding="utf-8"))
+    except (OSError, json.JSONDecodeError) as error:
+        raise ConfigurationError(
+            f"Cannot read baseline {path}: {error}") from error
+    if payload.get("version") != BASELINE_VERSION:
+        raise ConfigurationError(
+            f"Baseline {path} has version {payload.get('version')!r}, "
+            f"expected {BASELINE_VERSION}")
+    return [BaselineEntry(file=str(entry["file"]), rule=str(entry["rule"]),
+                          content=str(entry["content"]))
+            for entry in payload.get("entries", ())]
+
+
+def write_baseline(path: Path, entries: list[BaselineEntry]) -> None:
+    """Write a baseline file (sorted, so the diff is reviewable)."""
+    ordered = sorted(entries, key=lambda e: (e.file, e.rule, e.content))
+    payload = {"version": BASELINE_VERSION,
+               "entries": [entry.to_dict() for entry in ordered]}
+    path.write_text(json.dumps(payload, indent=1, sort_keys=True) + "\n",
+                    encoding="utf-8")
+
+
+def split_by_baseline(
+    findings: list[Finding],
+    entries: list[BaselineEntry],
+    sources: dict[str, list[str]],
+) -> tuple[list[Finding], list[Finding], list[BaselineEntry]]:
+    """Partition ``findings`` against the baseline.
+
+    Returns ``(new, grandfathered, stale_entries)``.  Each baseline entry
+    absorbs at most one finding (a second identical violation on another
+    line is a new finding); entries matching nothing are reported as stale
+    so the baseline shrinks as code gets fixed.
+    """
+    remaining: dict[BaselineEntry, int] = {}
+    for entry in entries:
+        remaining[entry] = remaining.get(entry, 0) + 1
+    new: list[Finding] = []
+    grandfathered: list[Finding] = []
+    for finding in findings:
+        key = entry_for(finding, sources.get(finding.file, []))
+        if remaining.get(key, 0) > 0:
+            remaining[key] -= 1
+            grandfathered.append(finding)
+        else:
+            new.append(finding)
+    stale = [entry for entry, count in remaining.items()
+             for _ in range(count)]
+    return new, grandfathered, stale

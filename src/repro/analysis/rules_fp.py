@@ -1,0 +1,135 @@
+"""FP — fingerprint-hygiene rules.
+
+Content fingerprints key the resumable artifact store and the manifest
+lockfiles, so the *coverage* of a fingerprint is a correctness property: a
+config field that exists but is not hashed means two genuinely different runs
+collide on one artifact.  PR 6 and PR 7 both hit this class — a new config
+field silently absent from a hand-maintained payload — which is why payloads
+must be derived from :func:`repro._fingerprints.fingerprint_fields` instead
+of enumerated by hand, and why hashed serialization must be canonical
+(``repr(float)`` and unsorted JSON are both representation-dependent).
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+
+from repro.analysis.core import LintContext, Rule, dotted_name, register_rule
+from repro.analysis.rules_nd import calls_hash_function
+
+_FINGERPRINT_FUNCTION = re.compile(r"fingerprint")
+
+#: Minimum hand-enumerated attribute reads of one object before a payload
+#: dict counts as field enumeration (below this, it is plausibly a derived
+#: payload rather than a field list).
+_MIN_ENUMERATED_FIELDS = 3
+
+
+def _function_calls_name(fn: ast.AST, name: str) -> bool:
+    for node in ast.walk(fn):
+        if isinstance(node, ast.Call):
+            called = dotted_name(node.func)
+            if called is not None and called.split(".")[-1] == name:
+                return True
+    return False
+
+
+@register_rule
+class FingerprintFieldsRule(Rule):
+    code = "FP001"
+    summary = ("fingerprint payloads enumerated field-by-field drift when a "
+               "config dataclass gains a field")
+    history = ("PR 6/7: new config fields were not folded into "
+               "config/settings fingerprints, so distinct runs collided in "
+               "the store; derive payloads via fingerprint_fields()")
+
+    def visit_Dict(self, node: ast.Dict, ctx: LintContext) -> None:
+        names = ctx.function_name_stack()
+        if not any(_FINGERPRINT_FUNCTION.search(name) for name in names):
+            return
+        fn = ctx.current_function
+        if fn is None or _function_calls_name(fn, "fingerprint_fields"):
+            return
+        keys = [key for key in node.keys
+                if isinstance(key, ast.Constant) and isinstance(key.value, str)]
+        if len(keys) < _MIN_ENUMERATED_FIELDS:
+            return
+        # Count attribute reads per base name across the dict values; three
+        # or more reads of one object is a hand-maintained field list.
+        bases: dict[str, int] = {}
+        for value in node.values:
+            seen: set[str] = set()
+            for sub in ast.walk(value):
+                if isinstance(sub, ast.Attribute) and isinstance(sub.value,
+                                                                 ast.Name):
+                    seen.add(sub.value.id)
+            for base in seen:
+                bases[base] = bases.get(base, 0) + 1
+        if bases and max(bases.values()) >= _MIN_ENUMERATED_FIELDS:
+            base = max(bases, key=lambda name: bases[name])
+            self.report(ctx, node,
+                        f"fingerprint payload enumerates {base!r} fields by "
+                        "hand; new fields will silently not be hashed — "
+                        "derive the field list with "
+                        "repro._fingerprints.fingerprint_fields() so "
+                        "coverage is structural")
+
+
+@register_rule
+class NonCanonicalHashRule(Rule):
+    code = "FP002"
+    summary = ("repr()/!r and unsorted json.dumps in hashed payloads tie "
+               "fingerprints to value representation instead of value "
+               "content")
+    history = ("float repr drift: repr(0.1 + 0.2) depends on arithmetic "
+               "history; hashed payloads must go through canonical JSON "
+               "(sort_keys=True) of the raw values")
+
+    def _in_hash_scope(self, ctx: LintContext) -> bool:
+        fn = ctx.current_function
+        if fn is None:
+            return False
+        if any(_FINGERPRINT_FUNCTION.search(name)
+               for name in ctx.function_name_stack()):
+            return True
+        return calls_hash_function(fn)
+
+    @staticmethod
+    def _inside_raise(node: ast.AST, ctx: LintContext) -> bool:
+        """Whether ``node`` feeds a ``raise`` — error text, not hashed data."""
+        current: ast.AST | None = node
+        while current is not None:
+            if isinstance(current, ast.Raise):
+                return True
+            current = ctx.parent(current)
+        return False
+
+    def visit_Call(self, node: ast.Call, ctx: LintContext) -> None:
+        if not self._in_hash_scope(ctx) or self._inside_raise(node, ctx):
+            return
+        if isinstance(node.func, ast.Name) and node.func.id == "repr":
+            self.report(ctx, node,
+                        "repr() in a hashed payload: representation is not "
+                        "content (float repr depends on arithmetic "
+                        "history); serialize canonically instead")
+            return
+        name = dotted_name(node.func)
+        if name is not None and name.split(".")[-1] == "dumps":
+            sort_keys = next((kw for kw in node.keywords
+                              if kw.arg == "sort_keys"), None)
+            if (sort_keys is None
+                    or not (isinstance(sort_keys.value, ast.Constant)
+                            and sort_keys.value.value is True)):
+                self.report(ctx, node,
+                            "json.dumps without sort_keys=True in a hashed "
+                            "payload: dict order leaks into the hash")
+
+    def visit_FormattedValue(self, node: ast.FormattedValue,
+                             ctx: LintContext) -> None:
+        if (node.conversion == ord("r") and self._in_hash_scope(ctx)
+                and not self._inside_raise(node, ctx)):
+            self.report(ctx, node,
+                        "!r conversion in a hashed payload: repr is "
+                        "representation, not content; serialize "
+                        "canonically instead")

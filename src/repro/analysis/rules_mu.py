@@ -1,0 +1,139 @@
+"""MU — mutation-hazard rules.
+
+The engine-level caches (feature matrices, signature caches) hand one array
+to many runs; the PR 4/5 design marks them ``writeable=False`` so an
+accidental in-place write fails instead of silently corrupting every later
+run that shares the matrix.  These rules catch the two ways that protection
+gets defeated: re-enabling writes on a cached array, and the classic
+mutable-default-argument aliasing that turns one call's scratch state into
+every call's shared state.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.core import LintContext, Rule, register_rule
+
+_MUTABLE_CONSTRUCTORS = frozenset({
+    "list", "dict", "set", "bytearray", "defaultdict", "OrderedDict",
+    "Counter", "deque",
+})
+
+#: Functions returning arrays that callers must treat as read-only (the
+#: engine marks them ``writeable=False``; writing requires a copy).
+READONLY_PRODUCERS = frozenset({
+    "get_feature_matrix",
+})
+
+#: ndarray methods that mutate in place.
+_INPLACE_METHODS = frozenset({
+    "sort", "fill", "resize", "put", "partition", "itemset", "setfield",
+})
+
+
+@register_rule
+class MutableDefaultRule(Rule):
+    code = "MU001"
+    summary = ("mutable default arguments alias one object across every "
+               "call")
+    history = ("classic shared-state hazard: a []/{} default turns per-call "
+               "scratch state into cross-run shared state, the exact "
+               "corruption the read-only caches exist to prevent")
+
+    def _check_defaults(self, node: ast.AST, ctx: LintContext) -> None:
+        args = node.args  # type: ignore[attr-defined]
+        for default in list(args.defaults) + [d for d in args.kw_defaults
+                                              if d is not None]:
+            if isinstance(default, (ast.List, ast.Dict, ast.Set,
+                                    ast.ListComp, ast.DictComp, ast.SetComp)):
+                self.report(ctx, default,
+                            "mutable default argument: one object is shared "
+                            "by every call; default to None and build "
+                            "inside the function")
+            elif (isinstance(default, ast.Call)
+                  and isinstance(default.func, ast.Name)
+                  and default.func.id in _MUTABLE_CONSTRUCTORS):
+                self.report(ctx, default,
+                            f"mutable default argument "
+                            f"({default.func.id}()): one object is shared "
+                            "by every call; default to None and build "
+                            "inside the function")
+
+    visit_FunctionDef = _check_defaults
+    visit_AsyncFunctionDef = _check_defaults
+    visit_Lambda = _check_defaults
+
+
+@register_rule
+class ReadOnlyWriteRule(Rule):
+    code = "MU002"
+    summary = ("in-place writes to arrays the caches hand out read-only "
+               "corrupt every later run sharing the array")
+    history = ("PR 4/5: the engine's feature-matrix cache shares one array "
+               "across a whole grid; it is writeable=False by design and "
+               "must stay that way")
+
+    def __init__(self) -> None:
+        #: Per enclosing-function id: names assigned from read-only
+        #: producers in that function.
+        self._readonly_names: dict[int, set[str]] = {}
+
+    def _scope_names(self, ctx: LintContext) -> set[str]:
+        fn = ctx.current_function
+        return self._readonly_names.setdefault(id(fn), set())  # repro: noqa[ND002] per-file identity key for AST scope nodes, discarded after the walk
+
+    def visit_Assign(self, node: ast.Assign, ctx: LintContext) -> None:
+        if (isinstance(node.value, ast.Call)
+                and isinstance(node.value.func, ast.Name)
+                and node.value.func.id in READONLY_PRODUCERS):
+            for target in node.targets:
+                if isinstance(target, ast.Name):
+                    self._scope_names(ctx).add(target.id)
+            return
+        # Writing through a subscript of a tracked name is an in-place write.
+        for target in node.targets:
+            if (isinstance(target, ast.Subscript)
+                    and isinstance(target.value, ast.Name)
+                    and target.value.id in self._scope_names(ctx)):
+                self.report(ctx, target,
+                            f"subscript write to {target.value.id!r}, which "
+                            "came from a read-only cache; copy before "
+                            "mutating")
+
+    def visit_AugAssign(self, node: ast.AugAssign, ctx: LintContext) -> None:
+        target = node.target
+        name = None
+        if isinstance(target, ast.Name):
+            name = target.id
+        elif isinstance(target, ast.Subscript) and isinstance(target.value,
+                                                              ast.Name):
+            name = target.value.id
+        if name is not None and name in self._scope_names(ctx):
+            self.report(ctx, node,
+                        f"in-place operator on {name!r}, which came from a "
+                        "read-only cache; copy before mutating")
+
+    def visit_Call(self, node: ast.Call, ctx: LintContext) -> None:
+        if not isinstance(node.func, ast.Attribute):
+            return
+        receiver = node.func.value
+        # .setflags(write=True) defeats the cache's protection wholesale,
+        # no matter where the array came from.
+        if node.func.attr == "setflags":
+            for keyword in node.keywords:
+                if (keyword.arg == "write"
+                        and isinstance(keyword.value, ast.Constant)
+                        and keyword.value.value):
+                    self.report(ctx, node,
+                                "setflags(write=True) re-enables writes on "
+                                "an array; cached arrays are read-only by "
+                                "design — copy instead")
+            return
+        if (isinstance(receiver, ast.Name)
+                and receiver.id in self._scope_names(ctx)
+                and node.func.attr in _INPLACE_METHODS):
+            self.report(ctx, node,
+                        f".{node.func.attr}() mutates {receiver.id!r} in "
+                        "place, but it came from a read-only cache; copy "
+                        "before mutating")

@@ -115,7 +115,7 @@ class MinHashSignature:
         mapping = np.empty(n, dtype=np.int64)
         distinct: list[Iterable[str]] = []
         for index, features in enumerate(features_list):
-            row = first_row.setdefault(id(features), len(distinct))
+            row = first_row.setdefault(id(features), len(distinct))  # repro: noqa[ND002] object-identity dedup within one call; ids never outlive the batch or order anything
             if row == len(distinct):
                 distinct.append(features)
             mapping[index] = row
@@ -142,9 +142,13 @@ class MinHashSignature:
         # Hash each distinct feature string once ever (the cache is process
         # wide), then map the flat occurrence list through the cache at C
         # speed — the per-occurrence Python loop was the batch bottleneck on
-        # q-gram pools.
-        for feature in set(flat).difference(cache):
-            cache[feature] = zlib.crc32(feature.encode("utf-8")) & _MAX_HASH
+        # q-gram pools.  dict.fromkeys dedups in first-occurrence order, so
+        # cache insertion order is a function of the input, not of set
+        # iteration order (crc32 values are order-independent anyway, but
+        # deterministic iteration keeps the cache dict bit-reproducible).
+        for feature in dict.fromkeys(flat):
+            if feature not in cache:
+                cache[feature] = zlib.crc32(feature.encode("utf-8")) & _MAX_HASH
         hashed = np.fromiter(map(cache.__getitem__, flat), dtype=np.int64,
                              count=total)
         unique_hashes, inverse = np.unique(hashed, return_inverse=True)

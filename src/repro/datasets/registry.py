@@ -12,6 +12,7 @@ import hashlib
 import json
 from dataclasses import dataclass
 
+from repro._fingerprints import fingerprint_fields
 from repro._rng import RandomState
 from repro._suggest import unknown_name_message
 from repro.config import ScaleProfile
@@ -236,6 +237,12 @@ def benchmark_fingerprint(name: str) -> str:
     random seed — those are run-time inputs named by the experiment settings.
     Manifest lockfiles pin this value so a re-run can prove the referenced
     dataset still means the same thing.
+
+    The payload values need per-field serialization (enum kinds, catalog
+    names), so they stay hand-built — but the *coverage* is structural: the
+    key set is checked against :func:`~repro._fingerprints.fingerprint_fields`
+    of :class:`BenchmarkSpec`, so a spec field added without a matching
+    payload entry fails here instead of silently not being hashed.
     """
     spec = benchmark_spec(name)
     payload = {
@@ -245,7 +252,11 @@ def benchmark_fingerprint(name: str) -> str:
              "weight": attribute.weight}
             for attribute in spec.schema
         ],
-        "catalog": getattr(spec.catalog, "__qualname__", repr(spec.catalog)),
+        # Catalogs are module-level functions; falling back to the class
+        # name (never an instance repr, which embeds a memory address)
+        # keeps the hash content-only for callable objects too.
+        "catalog": getattr(spec.catalog, "__qualname__",
+                           type(spec.catalog).__qualname__),
         "paper_train_size": spec.paper_train_size,
         "positive_rate": spec.positive_rate,
         "left_corruption": dataclasses.asdict(spec.left_corruption),
@@ -256,6 +267,13 @@ def benchmark_fingerprint(name: str) -> str:
         "split_ratios": dataclasses.asdict(spec.split_ratios),
         "vocabularies": _vocabulary_fingerprint(),
     }
+    covered = set(payload) - {"vocabularies"}
+    required = set(fingerprint_fields(BenchmarkSpec))
+    if covered != required:
+        raise DatasetError(
+            f"benchmark_fingerprint payload drifted from BenchmarkSpec: "
+            f"missing {sorted(required - covered)}, "
+            f"extra {sorted(covered - required)}")
     canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
     return hashlib.sha256(canonical.encode("utf-8")).hexdigest()[:16]
 

@@ -30,6 +30,14 @@ PAPER_NUM_SEEDS: int = 3
 #: Datasets used for the component-analysis figures (Section 6).
 ABLATION_DATASETS: tuple[str, ...] = ("walmart_amazon", "amazon_google")
 
+#: :class:`ExperimentSettings` fields that only shape the experiment *grid*.
+#: Every other field influences a single run and must be fingerprinted; the
+#: engine's ``settings_fingerprint`` derives its payload as
+#: ``fingerprint_fields(ExperimentSettings, exclude=GRID_ONLY_FIELDS)``, so a
+#: new settings field is hashed by construction unless deliberately listed
+#: here.
+GRID_ONLY_FIELDS: tuple[str, ...] = ("datasets", "num_seeds", "alphas", "beta")
+
 
 @dataclass(frozen=True)
 class ExperimentSettings:

@@ -45,13 +45,19 @@ from repro.active.selectors import (
     RandomSelector,
     Selector,
 )
+from repro._fingerprints import fingerprint_fields, fingerprint_payload
 from repro._suggest import unknown_name_message
+from repro.analysis.sanitizer import (
+    DeterminismGuard,
+    determinism_guard,
+    sanitizer_enabled,
+)
 from repro.active.weak_supervision import WeakSupervisionMode, resolve_mode
 from repro.data.dataset import EMDataset
 from repro.datasets.registry import load_benchmark
 from repro.evaluation.metrics import MatchingMetrics
 from repro.exceptions import ConfigurationError
-from repro.experiments.configs import ExperimentSettings
+from repro.experiments.configs import GRID_ONLY_FIELDS, ExperimentSettings
 from repro.experiments.store import ArtifactStore, collect_corruption_warnings
 from repro.neural.featurizer import FeaturizerConfig, PairFeaturizer
 from repro.scenarios import Scenario, get_scenario
@@ -179,20 +185,15 @@ def _canonical_json(payload: object) -> str:
 def settings_fingerprint(settings: ExperimentSettings) -> str:
     """Stable hash of every settings field that influences a single run.
 
-    Fields that only shape the *grid* (``datasets``, ``num_seeds``,
-    ``alphas``) are excluded: the grid is spelled out by the RunSpecs
-    themselves, and a stored run stays valid when the surrounding sweep
-    changes.
+    Fields that only shape the *grid* (:data:`GRID_ONLY_FIELDS`: datasets,
+    num_seeds, alphas, beta) are excluded: the grid is spelled out by the
+    RunSpecs themselves, and a stored run stays valid when the surrounding
+    sweep changes.  The payload is derived from the dataclass fields rather
+    than enumerated by hand, so a new settings field is fingerprinted by
+    construction — forgetting it is impossible.
     """
-    payload = {
-        "scale": dataclasses.asdict(settings.scale),
-        "iterations": settings.iterations,
-        "budget_per_iteration": settings.budget_per_iteration,
-        "seed_size": settings.seed_size,
-        "matcher_config": dataclasses.asdict(settings.matcher_config),
-        "featurizer_config": dataclasses.asdict(settings.featurizer_config),
-        "base_random_seed": settings.base_random_seed,
-    }
+    fields = fingerprint_fields(ExperimentSettings, exclude=GRID_ONLY_FIELDS)
+    payload = fingerprint_payload(settings, fields)
     return hashlib.sha256(_canonical_json(payload).encode("utf-8")).hexdigest()[:16]
 
 
@@ -322,14 +323,36 @@ def execute_spec(spec: RunSpec, settings: ExperimentSettings) -> ActiveLearningR
     The feature matrix comes from the process-wide cache, so the first run
     touching a ``(dataset, scenario-dataset, featurizer)`` combination pays
     for featurization and every later run reuses the matrix.
+
+    With ``REPRO_SANITIZE=1`` in the environment, the whole run executes
+    under :func:`repro.analysis.determinism_guard`: any code path consuming
+    the global RNGs fails the run loudly, and the shared feature matrix is
+    asserted to still be read-only afterwards.
     """
+    if sanitizer_enabled():
+        with determinism_guard(label=f"run {spec.dataset}/{spec.method}"
+                                     f"/seed={spec.seed}") as guard:
+            result = _execute_spec_unguarded(spec, settings, guard)
+        return result
+    return _execute_spec_unguarded(spec, settings)
+
+
+def _execute_spec_unguarded(
+    spec: RunSpec,
+    settings: ExperimentSettings,
+    guard: "DeterminismGuard | None" = None,
+) -> ActiveLearningResult:
     scenario = get_scenario(spec.scenario)
     selector = method_factory(spec.method)(spec.alpha, spec.beta)
     dataset = get_dataset(spec.dataset, settings, scenario)
     oracle = scenario.build_oracle(dataset, spec.seed)
     features = get_feature_matrix(spec.dataset, settings, scenario)
-    return run_single(dataset, selector, settings, spec.seed,
-                      spec.weak_supervision, oracle=oracle, features=features)
+    result = run_single(dataset, selector, settings, spec.seed,
+                        spec.weak_supervision, oracle=oracle, features=features)
+    if guard is not None and features is not None:
+        guard.assert_read_only(
+            features, name=f"feature matrix of {spec.dataset}")
+    return result
 
 
 # --------------------------------------------------------------------------- #

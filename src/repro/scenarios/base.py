@@ -34,6 +34,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro._fingerprints import fingerprint_fields, fingerprint_payload
 from repro.active.oracle import (
     AbstainingOracle,
     ClassConditionalNoisyOracle,
@@ -170,30 +171,19 @@ class Scenario:
                 f"Unknown pool transform {self.pool_skew!r}; available: "
                 f"{sorted(available_pool_transforms())}")
 
-    def _corruption_payload(self) -> dict[str, object]:
-        return {
-            "name": self.corruption.name,
-            "left": (dataclasses.asdict(self.corruption.left)
-                     if self.corruption.left is not None else None),
-            "right": (dataclasses.asdict(self.corruption.right)
-                      if self.corruption.right is not None else None),
-            "scale_factor": self.corruption.scale_factor,
-        }
-
     def fingerprint(self) -> str:
         """Content hash of everything that changes a run's outcome.
 
         The human-facing ``description`` is excluded; every behavioural field
-        is included, so editing a scenario definition invalidates its stored
-        artifacts (the fingerprint feeds
+        is included *by construction* — the payload is derived from the
+        dataclass fields (:func:`repro._fingerprints.fingerprint_fields`), so
+        a field added to :class:`Scenario` is hashed without anyone
+        remembering to list it, and editing a scenario definition invalidates
+        its stored artifacts (the fingerprint feeds
         :meth:`repro.experiments.engine.RunSpec.fingerprint`).
         """
-        payload = {
-            "name": self.name,
-            "oracle": dataclasses.asdict(self.oracle),
-            "corruption": self._corruption_payload(),
-            "pool_skew": self.pool_skew,
-        }
+        fields = fingerprint_fields(Scenario, exclude=("description",))
+        payload = fingerprint_payload(self, fields)
         canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
         return hashlib.sha256(canonical.encode("utf-8")).hexdigest()[:16]
 
@@ -209,8 +199,11 @@ class Scenario:
         """
         if self.is_default:
             return ""
-        payload = {
-            "corruption": self._corruption_payload(),
+        # This payload is deliberately a *subset* of the fields (the oracle
+        # must not invalidate the dataset cache), so it cannot be derived
+        # from fingerprint_fields; full coverage is owned by fingerprint().
+        payload = {  # repro: noqa[FP001] intentional field subset for dataset-cache sharing; fingerprint() above carries the structural coverage
+            "corruption": dataclasses.asdict(self.corruption),
             "pool_skew": self.pool_skew,
             "skew_scope": self.name if self.pool_skew is not None else None,
         }

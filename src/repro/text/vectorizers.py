@@ -171,7 +171,11 @@ class TfidfVectorizer:
         """Learn the vocabulary and inverse document frequencies from ``texts``."""
         document_frequency: dict[str, int] = {}
         for text in texts:
-            for token in set(tokenize(text)):
+            # dict.fromkeys dedups per document in first-occurrence order, so
+            # document_frequency's insertion order derives from the corpus
+            # rather than from set iteration order (the counts themselves are
+            # order-independent; the explicit sorts below own the ordering).
+            for token in dict.fromkeys(tokenize(text)):
                 document_frequency[token] = document_frequency.get(token, 0) + 1
         items = [(token, df) for token, df in document_frequency.items() if df >= self.min_df]
         # Keep the most frequent tokens when max_features caps the vocabulary.

@@ -1,0 +1,102 @@
+"""Baseline tests: grandfathering, staleness, and content-keyed robustness."""
+
+from __future__ import annotations
+
+import json
+import textwrap
+
+from repro.analysis import lint_paths, read_baseline, write_baseline
+from repro.analysis.baseline import BaselineEntry, entry_for, split_by_baseline
+from repro.analysis.core import Finding
+
+VIOLATION = textwrap.dedent(
+    """
+    def key(obj):
+        return id(obj)
+    """)
+
+
+def write_module(tmp_path, name, source):
+    path = tmp_path / name
+    path.write_text(textwrap.dedent(source), encoding="utf-8")
+    return path
+
+
+def test_baseline_round_trip(tmp_path):
+    entries = [BaselineEntry(file="m.py", rule="ND002",
+                             content="return id(obj)")]
+    path = tmp_path / "baseline.json"
+    write_baseline(path, entries)
+    assert read_baseline(path) == entries
+    payload = json.loads(path.read_text(encoding="utf-8"))
+    assert payload["version"] == 1
+
+
+def test_baselined_findings_do_not_gate(tmp_path):
+    module = write_module(tmp_path, "m.py", VIOLATION)
+    baseline = tmp_path / "baseline.json"
+
+    report = lint_paths([module], root=tmp_path)
+    assert not report.ok
+    write_baseline(baseline, report.baseline_entries())
+
+    gated = lint_paths([module], root=tmp_path, baseline_path=baseline)
+    assert gated.ok
+    assert [f.rule for f in gated.grandfathered] == ["ND002"]
+
+
+def test_baseline_keys_on_content_not_line_numbers(tmp_path):
+    module = write_module(tmp_path, "m.py", VIOLATION)
+    baseline = tmp_path / "baseline.json"
+    report = lint_paths([module], root=tmp_path)
+    write_baseline(baseline, report.baseline_entries())
+
+    # Prepend unrelated lines: every finding moves, the content does not.
+    module.write_text("import os\nimport sys\n"
+                      + module.read_text(encoding="utf-8"), encoding="utf-8")
+    gated = lint_paths([module], root=tmp_path, baseline_path=baseline)
+    assert gated.ok
+    assert [f.rule for f in gated.grandfathered] == ["ND002"]
+
+
+def test_new_findings_still_gate_alongside_a_baseline(tmp_path):
+    module = write_module(tmp_path, "m.py", VIOLATION)
+    baseline = tmp_path / "baseline.json"
+    report = lint_paths([module], root=tmp_path)
+    write_baseline(baseline, report.baseline_entries())
+
+    module.write_text(module.read_text(encoding="utf-8") + textwrap.dedent(
+        """
+        def sig(x):
+            return hash(x)
+        """), encoding="utf-8")
+    gated = lint_paths([module], root=tmp_path, baseline_path=baseline)
+    assert not gated.ok
+    assert [f.rule for f in gated.findings] == ["ND001"]
+    assert [f.rule for f in gated.grandfathered] == ["ND002"]
+
+
+def test_fixed_findings_turn_the_baseline_entry_stale(tmp_path):
+    module = write_module(tmp_path, "m.py", VIOLATION)
+    baseline = tmp_path / "baseline.json"
+    report = lint_paths([module], root=tmp_path)
+    write_baseline(baseline, report.baseline_entries())
+
+    write_module(tmp_path, "m.py", """
+        def key(obj):
+            return obj
+        """)
+    gated = lint_paths([module], root=tmp_path, baseline_path=baseline)
+    assert gated.findings == []
+    assert [entry.rule for entry in gated.stale_baseline] == ["ND002"]
+
+
+def test_split_by_baseline_is_pure():
+    finding = Finding(rule="ND002", file="m.py", line=3, col=11,
+                      message="id()")
+    sources = {"m.py": ["", "def key(obj):", "    return id(obj)"]}
+    entry = entry_for(finding, sources["m.py"])
+    new, grandfathered, stale = split_by_baseline([finding], [entry], sources)
+    assert (new, grandfathered, stale) == ([], [finding], [])
+    new, grandfathered, stale = split_by_baseline([finding], [], sources)
+    assert (new, grandfathered, stale) == ([finding], [], [])

@@ -1,0 +1,135 @@
+"""CLI tests for ``repro lint-code``: exit codes, formats, baseline flags."""
+
+from __future__ import annotations
+
+import json
+import textwrap
+
+import pytest
+
+from repro.cli import main
+
+CLEAN = "VALUE = 1\n"
+
+VIOLATION = textwrap.dedent(
+    """
+    def sig(x):
+        return hash(x)
+    """)
+
+
+@pytest.fixture()
+def project(tmp_path, monkeypatch):
+    """An isolated project directory the CLI runs inside."""
+    monkeypatch.chdir(tmp_path)
+    return tmp_path
+
+
+def test_clean_tree_exits_zero(project, capsys):
+    (project / "m.py").write_text(CLEAN, encoding="utf-8")
+    assert main(["lint-code", "m.py"]) == 0
+    assert "0 finding(s)" in capsys.readouterr().out
+
+
+def test_findings_exit_one_with_location(project, capsys):
+    (project / "m.py").write_text(VIOLATION, encoding="utf-8")
+    assert main(["lint-code", "m.py"]) == 1
+    out = capsys.readouterr().out
+    assert "m.py:3:11: ND001" in out
+
+
+def test_json_format_is_the_artifact_document(project, capsys):
+    (project / "m.py").write_text(VIOLATION, encoding="utf-8")
+    assert main(["lint-code", "m.py", "--format", "json"]) == 1
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["tool"] == "reprolint"
+    assert [f["rule"] for f in payload["findings"]] == ["ND001"]
+
+
+def test_unknown_select_rule_exits_two_with_suggestion(project, capsys):
+    (project / "m.py").write_text(CLEAN, encoding="utf-8")
+    assert main(["lint-code", "m.py", "--select", "ND01"]) == 2
+    err = capsys.readouterr().err
+    assert "did you mean" in err and "ND001" in err
+
+
+def test_select_and_ignore_narrow_the_rule_set(project, capsys):
+    (project / "m.py").write_text(VIOLATION, encoding="utf-8")
+    assert main(["lint-code", "m.py", "--select", "ND002"]) == 0
+    assert main(["lint-code", "m.py", "--ignore", "ND001"]) == 0
+    assert main(["lint-code", "m.py", "--select", "ND001,ND002"]) == 1
+    capsys.readouterr()
+
+
+def test_write_baseline_then_gate_green(project, capsys):
+    (project / "m.py").write_text(VIOLATION, encoding="utf-8")
+    assert main(["lint-code", "m.py", "--write-baseline"]) == 0
+    assert (project / "reprolint-baseline.json").exists()
+    # The default baseline is picked up from the working directory.
+    assert main(["lint-code", "m.py"]) == 0
+    out = capsys.readouterr().out
+    assert "1 baselined" in out
+    # --no-baseline reports the grandfathered finding again.
+    assert main(["lint-code", "m.py", "--no-baseline"]) == 1
+
+
+def test_stale_baseline_fails_the_gate(project, capsys):
+    (project / "m.py").write_text(VIOLATION, encoding="utf-8")
+    assert main(["lint-code", "m.py", "--write-baseline"]) == 0
+    (project / "m.py").write_text(CLEAN, encoding="utf-8")
+    assert main(["lint-code", "m.py"]) == 1
+    assert "stale baseline" in capsys.readouterr().out
+
+
+def test_no_baseline_conflicts_with_write_baseline(project, capsys):
+    (project / "m.py").write_text(CLEAN, encoding="utf-8")
+    assert main(["lint-code", "m.py", "--no-baseline",
+                 "--write-baseline"]) == 2
+
+
+def test_list_rules_prints_the_catalog(project, capsys):
+    assert main(["lint-code", "--list-rules"]) == 0
+    out = capsys.readouterr().out
+    for code in ("ND001", "ND005", "SP001", "FP001", "MU002"):
+        assert code in out
+
+
+def test_planted_violation_tree_yields_exact_findings(project, capsys):
+    """End-to-end fixture tree: one violation per family, exact locations."""
+    pkg = project / "pkg"
+    pkg.mkdir()
+    (pkg / "nd.py").write_text(textwrap.dedent(
+        """
+        import random
+
+        def sample(items):
+            ordered = list(set(items))
+            return random.choice(ordered)
+        """), encoding="utf-8")
+    (pkg / "sp.py").write_text(textwrap.dedent(
+        """
+        def run(executor, items):
+            return executor.submit(lambda x: x, items)
+        """), encoding="utf-8")
+    (pkg / "fp.py").write_text(textwrap.dedent(
+        """
+        def fingerprint(config):
+            return {"alpha": repr(config.alpha)}
+        """), encoding="utf-8")
+    (pkg / "mu.py").write_text(textwrap.dedent(
+        """
+        def build(items=[]):
+            return items
+        """), encoding="utf-8")
+    assert main(["lint-code", "pkg", "--format", "json"]) == 1
+    payload = json.loads(capsys.readouterr().out)
+    locations = sorted((f["file"], f["line"], f["col"], f["rule"])
+                       for f in payload["findings"])
+    assert locations == [
+        ("pkg/fp.py", 3, 21, "FP002"),
+        ("pkg/mu.py", 2, 16, "MU001"),
+        ("pkg/nd.py", 5, 19, "ND005"),
+        ("pkg/nd.py", 6, 11, "ND003"),
+        ("pkg/sp.py", 3, 27, "SP001"),
+    ]
+    assert payload["files_checked"] == 4

@@ -1,0 +1,175 @@
+"""Fingerprint regression tests for the structural-coverage refactor.
+
+The settings/scenario/benchmark fingerprints key the resumable artifact store
+and the manifest lockfiles, so the refactor to
+:func:`repro._fingerprints.fingerprint_fields` must be *value-preserving*:
+every test here recomputes the OLD hand-enumerated payload algorithm and
+asserts the refactored implementation produces the identical hash.  A
+separate test proves the new property the refactor buys: a dataclass field
+added tomorrow is fingerprinted without anyone remembering to list it.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+from dataclasses import make_dataclass
+
+import pytest
+
+from repro._fingerprints import fingerprint_fields, fingerprint_payload
+from repro.datasets.registry import available_benchmarks, benchmark_fingerprint
+from repro.experiments.configs import GRID_ONLY_FIELDS, default_settings
+from repro.experiments.engine import settings_fingerprint
+from repro.scenarios import available_scenarios, get_scenario
+
+
+def canonical_hash(payload: object) -> str:
+    canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()[:16]
+
+
+# --------------------------------------------------------------------------- #
+# Old algorithms, reimplemented verbatim
+# --------------------------------------------------------------------------- #
+def old_settings_fingerprint(settings) -> str:
+    payload = {
+        "scale": dataclasses.asdict(settings.scale),
+        "iterations": settings.iterations,
+        "budget_per_iteration": settings.budget_per_iteration,
+        "seed_size": settings.seed_size,
+        "matcher_config": dataclasses.asdict(settings.matcher_config),
+        "featurizer_config": dataclasses.asdict(settings.featurizer_config),
+        "base_random_seed": settings.base_random_seed,
+    }
+    return canonical_hash(payload)
+
+
+def old_corruption_payload(scenario) -> dict[str, object]:
+    corruption = scenario.corruption
+    return {
+        "name": corruption.name,
+        "left": (dataclasses.asdict(corruption.left)
+                 if corruption.left is not None else None),
+        "right": (dataclasses.asdict(corruption.right)
+                  if corruption.right is not None else None),
+        "scale_factor": corruption.scale_factor,
+    }
+
+
+def old_scenario_fingerprint(scenario) -> str:
+    payload = {
+        "name": scenario.name,
+        "oracle": dataclasses.asdict(scenario.oracle),
+        "corruption": old_corruption_payload(scenario),
+        "pool_skew": scenario.pool_skew,
+    }
+    return canonical_hash(payload)
+
+
+def old_dataset_fingerprint(scenario) -> str:
+    if scenario.is_default:
+        return ""
+    payload = {
+        "corruption": old_corruption_payload(scenario),
+        "pool_skew": scenario.pool_skew,
+        "skew_scope": (scenario.name if scenario.pool_skew is not None
+                       else None),
+    }
+    return canonical_hash(payload)
+
+
+# --------------------------------------------------------------------------- #
+# Value preservation
+# --------------------------------------------------------------------------- #
+@pytest.mark.parametrize("scale", ["tiny", "small"])
+def test_settings_fingerprint_value_preserved(scale):
+    settings = default_settings(scale)
+    assert settings_fingerprint(settings) == old_settings_fingerprint(settings)
+
+
+def test_settings_fingerprint_still_excludes_grid_fields():
+    settings = default_settings("tiny")
+    widened = dataclasses.replace(settings, datasets=("abt_buy",),
+                                  num_seeds=99, alphas=(0.1,), beta=0.9)
+    assert settings_fingerprint(widened) == settings_fingerprint(settings)
+
+
+def test_settings_fingerprint_covers_behavioural_fields():
+    settings = default_settings("tiny")
+    changed = dataclasses.replace(settings, iterations=settings.iterations + 1)
+    assert settings_fingerprint(changed) != settings_fingerprint(settings)
+
+
+@pytest.mark.parametrize("name", sorted(available_scenarios()))
+def test_scenario_fingerprints_value_preserved(name):
+    scenario = get_scenario(name)
+    assert scenario.fingerprint() == old_scenario_fingerprint(scenario)
+    assert scenario.dataset_fingerprint() == old_dataset_fingerprint(scenario)
+
+
+#: Pinned pre-refactor benchmark fingerprints (captured at the refactor
+#: commit).  These feed manifest lockfiles on disk: a value change here
+#: invalidates users' stores and must be an explicit, reviewed decision.
+PINNED_BENCHMARK_FINGERPRINTS = {
+    "walmart_amazon": "11ef850685b636f3",
+    "amazon_google": "eb6e49c7fd260b79",
+    "wdc_cameras": "1b8ea4f88aeab387",
+    "wdc_shoes": "55d96bd2d610c2c7",
+    "abt_buy": "d0c64a52599df128",
+    "dblp_scholar": "a8bcbdbfd07a7b92",
+}
+
+
+def test_benchmark_fingerprints_value_preserved():
+    assert set(PINNED_BENCHMARK_FINGERPRINTS) == set(available_benchmarks())
+    for name, expected in PINNED_BENCHMARK_FINGERPRINTS.items():
+        assert benchmark_fingerprint(name) == expected, name
+
+
+# --------------------------------------------------------------------------- #
+# The property the refactor buys: structural coverage
+# --------------------------------------------------------------------------- #
+def test_new_fields_are_fingerprinted_by_construction():
+    base = make_dataclass("Base", [("alpha", float, 0.5), ("beta", float, 1.0),
+                                   ("note", str, "")])
+    extended = make_dataclass("Extended",
+                              [("alpha", float, 0.5), ("beta", float, 1.0),
+                               ("note", str, ""), ("gamma", int, 3)])
+    exclude = ("note",)
+    assert fingerprint_fields(base, exclude) == ("alpha", "beta")
+    # The new field shows up with NO change to the fingerprint code.
+    assert fingerprint_fields(extended, exclude) == ("alpha", "beta", "gamma")
+    payload = fingerprint_payload(extended(), fingerprint_fields(extended,
+                                                                 exclude))
+    assert payload == {"alpha": 0.5, "beta": 1.0, "gamma": 3}
+
+
+def test_stale_exclusions_fail_loudly():
+    cls = make_dataclass("Cfg", [("alpha", float, 0.5)])
+    with pytest.raises(ValueError, match="renamed_away"):
+        fingerprint_fields(cls, exclude=("renamed_away",))
+    with pytest.raises(TypeError):
+        fingerprint_fields(int)
+
+
+def test_grid_only_fields_are_real_settings_fields():
+    settings = default_settings("tiny")
+    # fingerprint_fields validates the exclusions against the dataclass, so
+    # renaming a grid field without updating GRID_ONLY_FIELDS fails loudly.
+    fields = fingerprint_fields(type(settings), exclude=GRID_ONLY_FIELDS)
+    assert "datasets" not in fields and "iterations" in fields
+
+
+def test_benchmark_payload_drift_guard():
+    """benchmark_fingerprint checks its payload keys against the spec fields.
+
+    The payload needs per-field serialization, so it stays hand-built; this
+    test proves the coverage check exists by exercising the helper the guard
+    is built on against the real BenchmarkSpec.
+    """
+    from repro.datasets.base import BenchmarkSpec
+
+    fields = set(fingerprint_fields(BenchmarkSpec))
+    assert {"name", "schema", "catalog", "split_ratios"} <= fields

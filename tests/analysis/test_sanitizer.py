@@ -1,0 +1,101 @@
+"""Runtime determinism sanitizer tests."""
+
+from __future__ import annotations
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    DeterminismViolation,
+    determinism_guard,
+    permuted,
+    sanitizer_enabled,
+    shuffled_dict,
+)
+from repro.analysis.sanitizer import SANITIZE_ENV_VAR
+
+
+def test_clean_block_passes_and_restores_state():
+    random.seed(12345)
+    np.random.seed(12345)
+    py_before = random.getstate()
+    np_before = np.random.get_state()
+    with determinism_guard("clean block") as guard:
+        rng = np.random.default_rng(0)  # owned generator: invisible to guard
+        rng.random(10)
+        guard.check("mid-block")
+    assert random.getstate() == py_before
+    assert np.all(np.random.get_state()[1] == np_before[1])
+
+
+def test_stdlib_global_consumption_fails_loudly():
+    with pytest.raises(DeterminismViolation, match="stdlib global RNG"):
+        with determinism_guard("stdlib probe"):
+            random.random()
+
+
+def test_numpy_global_consumption_fails_loudly():
+    with pytest.raises(DeterminismViolation, match="legacy global RNG"):
+        with determinism_guard("numpy probe"):
+            np.random.rand(3)  # repro: noqa[ND003] the violation under test
+
+
+def test_state_is_restored_even_on_failure():
+    random.seed(999)
+    py_before = random.getstate()
+    with pytest.raises(DeterminismViolation):
+        with determinism_guard():
+            random.random()
+    assert random.getstate() == py_before
+
+
+def test_assert_read_only():
+    array = np.zeros(4)
+    array.setflags(write=False)  # repro: noqa[MU002] constructing the read-only fixture under test
+    with determinism_guard() as guard:
+        guard.assert_read_only(array, name="fixture")
+    writeable = np.zeros(4)
+    with determinism_guard() as guard:
+        with pytest.raises(DeterminismViolation, match="writeable"):
+            guard.assert_read_only(writeable, name="fixture")
+
+
+def test_permuted_is_deterministic_and_complete():
+    items = list(range(20))
+    assert permuted(items) == permuted(items)
+    assert permuted(items) != items
+    assert sorted(permuted(items)) == items
+    assert permuted(items, seed=1) != permuted(items, seed=2)
+
+
+def test_shuffled_dict_preserves_mapping():
+    mapping = {f"k{i}": i for i in range(12)}
+    shuffled = shuffled_dict(mapping)
+    assert shuffled == mapping  # equal as mappings...
+    assert list(shuffled) != list(mapping)  # ...but not in insertion order
+    assert shuffled_dict(mapping) == shuffled
+
+
+def test_sanitizer_enabled_reads_environment(monkeypatch):
+    monkeypatch.delenv(SANITIZE_ENV_VAR, raising=False)
+    assert not sanitizer_enabled()
+    for value in ("1", "true", "ON"):
+        monkeypatch.setenv(SANITIZE_ENV_VAR, value)
+        assert sanitizer_enabled()
+    monkeypatch.setenv(SANITIZE_ENV_VAR, "0")
+    assert not sanitizer_enabled()
+
+
+def test_engine_runs_clean_under_the_sanitizer(monkeypatch):
+    """The flagship integration: a real engine run under REPRO_SANITIZE=1."""
+    monkeypatch.setenv(SANITIZE_ENV_VAR, "1")
+    from repro.experiments.configs import default_settings
+    from repro.experiments.engine import RunSpec, execute_spec
+
+    settings = default_settings("tiny")
+    spec = RunSpec.create("amazon_google", "random", seed=7, alpha=0.5,
+                          beta=0.5, weak_supervision="off", settings=settings)
+    result = execute_spec(spec, settings)
+    assert result.records

@@ -20,6 +20,7 @@ import numpy as np
 from hypothesis import given, settings, strategies as st
 
 from repro._rng import spawn_rng
+from repro.analysis import determinism_guard, permuted, shuffled_dict
 from repro.active.oracle import (
     ABSTAIN,
     AbstainingOracle,
@@ -94,10 +95,13 @@ _token_sets = st.lists(
 @given(features=st.lists(st.sampled_from(_WORDS), min_size=1, max_size=10),
        seed=st.integers(0, 2**31 - 1))
 def test_minhash_signature_is_a_set_function(features, seed):
-    minhash = MinHashSignature(num_permutations=32, random_state=seed)
-    baseline = minhash.signature(features)
-    reversed_order = minhash.signature(list(reversed(features)))
-    duplicated = minhash.signature(features + features)
+    # The determinism guard fails the test if signing consumes any global
+    # RNG state — signatures must be pure functions of (features, seed).
+    with determinism_guard("minhash signing"):
+        minhash = MinHashSignature(num_permutations=32, random_state=seed)
+        baseline = minhash.signature(features)
+        reversed_order = minhash.signature(list(reversed(features)))
+        duplicated = minhash.signature(features + features)
     np.testing.assert_array_equal(baseline, reversed_order)
     np.testing.assert_array_equal(baseline, duplicated)
     assert MinHashSignature.estimated_jaccard(baseline, duplicated) == 1.0
@@ -124,8 +128,9 @@ def test_identically_seeded_blockers_agree_on_candidates(
                               random_state=seed)
     second = MinHashLSHBlocker(num_permutations=16, num_bands=4,
                                random_state=seed)
-    candidates = first.block(left, right)
-    assert candidates == second.block(left, right)
+    with determinism_guard("lsh blocking"):
+        candidates = first.block(left, right)
+        assert candidates == second.block(left, right)
     # An identical record on both sides always collides in every band.
     if left_titles[0] == right_titles[0]:
         assert ("l0", "r0") in candidates
@@ -177,9 +182,37 @@ def test_corruption_never_leaves_the_vocabulary(values, config, seed):
 @given(values=_values_strategy, config=_config_strategy,
        seed=st.integers(0, 2**31 - 1))
 def test_corruption_is_seed_deterministic(values, config, seed):
-    first = corrupt_values(values, config, np.random.default_rng(seed))
-    second = corrupt_values(values, config, np.random.default_rng(seed))
+    with determinism_guard("corruption"):
+        first = corrupt_values(values, config, np.random.default_rng(seed))
+        second = corrupt_values(values, config, np.random.default_rng(seed))
     assert first == second
+
+
+def test_shuffled_dict_probe_detects_corruption_order_dependence():
+    """``corrupt_values`` draws RNG while iterating its input dict, so its
+    output depends on insertion order — detectable with ``shuffled_dict``.
+
+    This is a *documented* order dependence, not a bug to fix: records are
+    always built in schema order, so the order is deterministic per run and
+    across runs, and changing the iteration strategy would regenerate every
+    synthetic benchmark.  The probe exists so that if someone ever feeds a
+    non-schema-ordered mapping in, the sanitizer toolkit can show why two
+    "identical" runs diverged.
+    """
+    values = {"title": "alpha bravo charlie", "brand": "delta echo",
+              "category": "foxtrot golf hotel"}
+    config = CorruptionConfig(typo_rate=0.1, token_drop_rate=0.2,
+                              token_swap_rate=0.1, abbreviation_rate=0.2,
+                              missing_rate=0.1, numeric_noise=0.0,
+                              injection_rate=0.2)
+    baseline = corrupt_values(values, config, np.random.default_rng(5))
+    reordered = corrupt_values(shuffled_dict(values), config,
+                               np.random.default_rng(5))
+    assert baseline != reordered
+    # Same insertion order ⇒ identical output: the dependence is on order
+    # alone, never on anything hidden.
+    again = corrupt_values(dict(values), config, np.random.default_rng(5))
+    assert baseline == again
 
 
 @settings(max_examples=40, deadline=None)
@@ -227,6 +260,40 @@ def test_abstaining_oracle_is_seed_deterministic(tiny_dataset, seed, abstain):
     indices = list(range(min(60, len(tiny_dataset.pairs))))
     assert [first.peek(i) for i in indices] == [second.peek(i) for i in indices]
     assert set(first.peek(i) for i in indices) <= {0, 1, ABSTAIN}
+
+
+@settings(max_examples=15, deadline=None)
+@given(seed=st.integers(0, 2**31 - 1), abstain=st.floats(0.0, 1.0),
+       order_seed=st.integers(0, 100))
+def test_abstention_outcomes_are_independent_of_query_order(
+        tiny_dataset, seed, abstain, order_seed):
+    """Per-pair abstention must be a function of (pair, seed), not of the
+    order the loop happens to query in — the runtime analogue of ND005 for
+    abstention order."""
+    oracle = AbstainingOracle(tiny_dataset, abstain_probability=abstain,
+                              random_state=seed)
+    indices = list(range(min(60, len(tiny_dataset.pairs))))
+    with determinism_guard("abstention order probe"):
+        in_order = {i: oracle.peek(i) for i in indices}
+        reordered = {i: oracle.peek(i)
+                     for i in permuted(indices, seed=order_seed)}
+    assert in_order == reordered
+
+
+# --------------------------------------------------------------------------- #
+# Vectorizer order-independence (the ND005 fix, probed at runtime)
+# --------------------------------------------------------------------------- #
+
+@settings(max_examples=20, deadline=None)
+@given(texts=_token_sets, order_seed=st.integers(0, 100))
+def test_tfidf_fit_is_independent_of_corpus_order(texts, order_seed):
+    from repro.text.vectorizers import TfidfVectorizer
+
+    with determinism_guard("tfidf fit"):
+        baseline = TfidfVectorizer().fit(texts)
+        reordered = TfidfVectorizer().fit(permuted(texts, seed=order_seed))
+    assert baseline.vocabulary == reordered.vocabulary
+    np.testing.assert_array_equal(baseline._idf, reordered._idf)
 
 
 @settings(max_examples=30, deadline=None)
