@@ -66,6 +66,72 @@ _EXPERIMENT_FIGURES = (5, 6, 7, 8, 9, 10)
 _EXPERIMENT_TABLES = (3, 4, 5, 6)
 
 
+def _add_fault_args(parser: argparse.ArgumentParser) -> None:
+    """The shared fault-tolerance flags of the sweep subcommands."""
+    parser.add_argument("--retries", type=int, default=None, metavar="N",
+                        help="Max attempts per job (default: fail fast; "
+                             "transient failures retry with deterministic "
+                             "backoff)")
+    parser.add_argument("--timeout", type=float, default=None,
+                        metavar="SECONDS",
+                        help="Per-job wall-clock timeout; a timed-out job "
+                             "counts as a transient failure (needs --jobs "
+                             ">= 2 for process isolation)")
+    parser.add_argument("--keep-going", action="store_true",
+                        help="Record permanent failures in the failure "
+                             "ledger and keep executing sibling jobs "
+                             "instead of aborting the sweep")
+    parser.add_argument("--chaos", default=None, metavar="SPEC",
+                        help="Deterministic fault injection for tests/CI: "
+                             "comma-separated KIND[=VALUE][@RANK][:ATTEMPT] "
+                             "directives (kinds: raise, permanent, kill, "
+                             "hang, torn); also honored from the "
+                             "REPRO_CHAOS environment variable")
+
+
+def _fault_tolerance(args: argparse.Namespace, base_policy=None,
+                     base_keep_going: bool = False):
+    """Resolve the flags (plus a manifest's [execution] base) to
+    ``(retry_policy, keep_going, injector)``.
+
+    CLI flags override the manifest's declared policy field by field; any
+    fault-tolerance request (flags, manifest section, chaos spec) implies a
+    policy so the executor runs in fault-tolerant mode.
+    """
+    from repro.experiments.faults import FaultInjector, RetryPolicy
+
+    injector = (FaultInjector.from_spec(args.chaos)
+                if args.chaos else FaultInjector.from_environment())
+    policy = base_policy
+    keep_going = base_keep_going or args.keep_going
+    if args.retries is not None or args.timeout is not None:
+        base = policy if policy is not None else RetryPolicy()
+        policy = replace(
+            base,
+            max_attempts=(args.retries if args.retries is not None
+                          else base.max_attempts),
+            timeout=(args.timeout if args.timeout is not None
+                     else base.timeout),
+        )
+    if policy is None and (keep_going or injector is not None):
+        policy = RetryPolicy()
+    return policy, keep_going, injector
+
+
+def _make_executor(jobs: int, retry_policy=None, keep_going: bool = False,
+                   injector=None) -> SerialExecutor | ParallelExecutor:
+    """An executor for ``jobs`` workers with optional fault tolerance.
+
+    ParallelExecutor validates the job count, so --jobs 0 fails loudly
+    instead of silently degrading to serial execution.
+    """
+    if jobs == 1:
+        return SerialExecutor(retry_policy=retry_policy,
+                              keep_going=keep_going, injector=injector)
+    return ParallelExecutor(jobs=jobs, retry_policy=retry_policy,
+                            keep_going=keep_going, injector=injector)
+
+
 def _matcher_config(args: argparse.Namespace,
                     settings: ExperimentSettings) -> MatcherConfig:
     """The harness matcher configuration, with CLI overrides applied.
@@ -146,6 +212,7 @@ def build_parser() -> argparse.ArgumentParser:
     experiments.add_argument("--dry-run", action="store_true",
                              help="Enumerate the RunSpec grid (count + "
                                   "fingerprints) without executing anything")
+    _add_fault_args(experiments)
 
     scenarios = subparsers.add_parser(
         "scenarios",
@@ -168,6 +235,7 @@ def build_parser() -> argparse.ArgumentParser:
     scenarios.add_argument("--methods", nargs="+", default=None,
                            choices=ACTIVE_LEARNING_METHODS,
                            help="Restrict the sweep to these selectors")
+    _add_fault_args(scenarios)
 
     manifest = subparsers.add_parser(
         "manifest",
@@ -196,6 +264,7 @@ def build_parser() -> argparse.ArgumentParser:
     manifest_build.add_argument("--ignore-lockfile", action="store_true",
                                 help="Execute even when the lockfile pins "
                                      "have drifted")
+    _add_fault_args(manifest_build)
 
     manifest_versions = manifest_sub.add_parser(
         "versions",
@@ -308,10 +377,8 @@ def _command_experiments(args: argparse.Namespace) -> int:
 
     settings = default_settings(
         args.scale, datasets=tuple(args.datasets) if args.datasets else None)
-    # ParallelExecutor validates the job count, so --jobs 0 fails loudly
-    # instead of silently degrading to serial execution.
-    executor = (SerialExecutor() if args.jobs == 1
-                else ParallelExecutor(jobs=args.jobs))
+    policy, keep_going, injector = _fault_tolerance(args)
+    executor = _make_executor(args.jobs, policy, keep_going, injector)
     store = ArtifactStore(args.store) if args.store else None
     dry_run = getattr(args, "dry_run", False)
     engine = ExperimentEngine(settings, executor=executor, store=store,
@@ -392,7 +459,7 @@ def _command_experiments(args: argparse.Namespace) -> int:
         print(_dry_run_summary(engine, args.store))
     else:
         print(_engine_report_line(engine, args.store))
-    return 0
+    return 1 if engine.total_report.failed else 0
 
 
 def _dry_run_summary(engine: ExperimentEngine, store_path: str | None) -> str:
@@ -411,13 +478,27 @@ def _dry_run_summary(engine: ExperimentEngine, store_path: str | None) -> str:
 
 
 def _engine_report_line(engine: ExperimentEngine, store_path: str | None) -> str:
-    """The harness' closing summary line (greppable by the CI smoke jobs)."""
+    """The harness' closing summary line (greppable by the CI smoke jobs).
+
+    The ``executed``/``loaded`` prefix is pinned (CI greps it); the retry
+    and failure notes are appended only when nonzero, so fault-free runs
+    print exactly what they always did.
+    """
     report = engine.total_report
     store_note = f"  store={store_path}" if store_path else ""
     memory_note = (f", {report.from_memory} reused in-memory"
                    if report.from_memory else "")
-    return (f"\nengine: {report.executed} runs executed, "
-            f"{report.from_store} loaded from store{memory_note}{store_note}")
+    retry_note = f", {report.retried} retried" if report.retried else ""
+    failed_note = f", {report.failed} failed" if report.failed else ""
+    line = (f"\nengine: {report.executed} runs executed, "
+            f"{report.from_store} loaded from store"
+            f"{memory_note}{retry_note}{failed_note}{store_note}")
+    if report.failed and store_path:
+        from repro.experiments.faults import ledger_path
+        line += (f"\nfailures: {report.failed} permanent failure(s) "
+                 f"recorded in {ledger_path(store_path)}; a re-run with the "
+                 "same store retries exactly these jobs")
+    return line
 
 
 def _command_scenarios(args: argparse.Namespace) -> int:
@@ -431,8 +512,8 @@ def _command_scenarios(args: argparse.Namespace) -> int:
     scenarios = resolve_scenarios(args.scenarios)
     settings = default_settings(
         args.scale, datasets=tuple(args.datasets) if args.datasets else None)
-    executor = (SerialExecutor() if args.jobs == 1
-                else ParallelExecutor(jobs=args.jobs))
+    policy, keep_going, injector = _fault_tolerance(args)
+    executor = _make_executor(args.jobs, policy, keep_going, injector)
     store = ArtifactStore(args.store) if args.store else None
     engine = ExperimentEngine(settings, executor=executor, store=store)
     methods = tuple(args.methods) if args.methods else ACTIVE_LEARNING_METHODS
@@ -447,7 +528,7 @@ def _command_scenarios(args: argparse.Namespace) -> int:
         print(format_table(sensitivity,
                            title="Robustness — F1 drop vs. the perfect scenario"))
     print(_engine_report_line(engine, args.store))
-    return 0
+    return 1 if engine.total_report.failed else 0
 
 
 def _manifest_lint(args: argparse.Namespace) -> int:
@@ -472,6 +553,7 @@ def _manifest_lint(args: argparse.Namespace) -> int:
 def _manifest_build(args: argparse.Namespace) -> int:
     from repro.manifests import (
         build_manifest,
+        build_retry_policy,
         compute_lockfile,
         load_manifest,
         lockfile_drift,
@@ -481,6 +563,7 @@ def _manifest_build(args: argparse.Namespace) -> int:
 
     source = load_manifest(args.path)
     document, settings, specs = build_manifest(source)
+    manifest_policy, manifest_keep_going = build_retry_policy(document)
 
     lock_path = lockfile_path(args.path)
     if lock_path.exists() and not args.ignore_lockfile:
@@ -496,8 +579,10 @@ def _manifest_build(args: argparse.Namespace) -> int:
                   "with --ignore-lockfile.")
             return 1
 
-    executor = (SerialExecutor() if args.jobs == 1
-                else ParallelExecutor(jobs=args.jobs))
+    policy, keep_going, injector = _fault_tolerance(
+        args, base_policy=manifest_policy,
+        base_keep_going=manifest_keep_going)
+    executor = _make_executor(args.jobs, policy, keep_going, injector)
     store = ArtifactStore(args.store) if args.store else None
     engine = ExperimentEngine(settings, executor=executor, store=store,
                               plan_only=args.dry_run,
@@ -507,6 +592,8 @@ def _manifest_build(args: argparse.Namespace) -> int:
         print(_dry_run_summary(engine, args.store))
         return 0
 
+    # Under --keep-going a permanently failed spec has no result; its row
+    # is simply absent (the report and ledger account for it).
     rows = [{
         "dataset": spec.dataset,
         "method": spec.method,
@@ -514,11 +601,11 @@ def _manifest_build(args: argparse.Namespace) -> int:
         "seed": spec.seed,
         "alpha": spec.alpha,
         "final_f1": round(results[spec].final_f1 * 100, 2),
-    } for spec in specs]
+    } for spec in specs if spec in results]
     print(format_table(
         rows, title=f"Manifest {document.manifest_id()} — {len(specs)} runs"))
     print(_engine_report_line(engine, args.store))
-    return 0
+    return 1 if engine.total_report.failed else 0
 
 
 def _manifest_versions(args: argparse.Namespace) -> int:

@@ -25,7 +25,17 @@ from __future__ import annotations
 import dataclasses
 import hashlib
 import json
-from concurrent.futures import ProcessPoolExecutor, as_completed
+import time
+import warnings
+from collections import deque
+from concurrent.futures import (
+    FIRST_COMPLETED,
+    Future,
+    ProcessPoolExecutor,
+    as_completed,
+    wait,
+)
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
 from typing import Callable, Iterable, Iterator, Mapping, Sequence
 
@@ -58,6 +68,20 @@ from repro.datasets.registry import load_benchmark
 from repro.evaluation.metrics import MatchingMetrics
 from repro.exceptions import ConfigurationError
 from repro.experiments.configs import GRID_ONLY_FIELDS, ExperimentSettings
+from repro.experiments.faults import (
+    POOL_KILL_QUARANTINE,
+    FailureLedger,
+    FailureRecord,
+    FaultInjector,
+    JobTimeoutError,
+    RetryPolicy,
+    WorkerCrashError,
+    active_injector,
+    fault_injection_point,
+    init_injector,
+    ledger_path,
+    record_traceback,
+)
 from repro.experiments.store import ArtifactStore, collect_corruption_warnings
 from repro.neural.featurizer import FeaturizerConfig, PairFeaturizer
 from repro.scenarios import Scenario, get_scenario
@@ -363,13 +387,85 @@ class SerialExecutor:
 
     ``execute`` yields ``(spec, result)`` pairs as runs complete so the
     engine can persist each run before the next one starts.
+
+    With a :class:`~repro.experiments.faults.RetryPolicy` the executor
+    retries transient failures in place (deterministic backoff, fault
+    injection honored); per-job *timeouts* and worker-crash recovery need
+    process isolation and are therefore exclusive to
+    :class:`ParallelExecutor`.  ``keep_going`` records permanent failures in
+    ``last_failures`` instead of aborting the sweep.
     """
+
+    def __init__(
+        self,
+        retry_policy: RetryPolicy | None = None,
+        keep_going: bool = False,
+        injector: FaultInjector | None = None,
+    ) -> None:
+        if retry_policy is None and (keep_going or injector is not None):
+            retry_policy = RetryPolicy()
+        self.retry_policy = retry_policy
+        self.keep_going = keep_going
+        self.injector = injector
+        self.last_failures: list[FailureRecord] = []
+        self.last_retries = 0
+        if retry_policy is not None and retry_policy.timeout is not None:
+            warnings.warn(
+                "SerialExecutor cannot enforce per-job timeouts (jobs run in "
+                "the calling process); use ParallelExecutor for --timeout",
+                stacklevel=2)
 
     def execute(
         self, specs: Sequence[RunSpec], settings: ExperimentSettings,
     ) -> Iterator[tuple[RunSpec, ActiveLearningResult]]:
-        for spec in specs:
-            yield spec, execute_spec(spec, settings)
+        self.last_failures = []
+        self.last_retries = 0
+        if self.retry_policy is None:
+            for spec in specs:
+                yield spec, execute_spec(spec, settings)
+            return
+        yield from self._execute_with_policy(specs, settings)
+
+    def _execute_with_policy(
+        self, specs: Sequence[RunSpec], settings: ExperimentSettings,
+    ) -> Iterator[tuple[RunSpec, ActiveLearningResult]]:
+        policy = self.retry_policy
+        assert policy is not None
+        injector = (self.injector.resolve(list(specs))
+                    if self.injector is not None else None)
+        init_injector(injector)
+        try:
+            for spec in specs:
+                fingerprint = spec.fingerprint()
+                failed = 0
+                tracebacks: list[str] = []
+                elapsed: list[float] = []
+                while True:
+                    started = time.monotonic()
+                    try:
+                        if injector is not None:
+                            fault_injection_point(fingerprint, failed)
+                        result = execute_spec(spec, settings)
+                    except Exception as error:
+                        elapsed.append(time.monotonic() - started)
+                        tracebacks.append(record_traceback(error))
+                        failed += 1
+                        if policy.retryable(error, failed):
+                            self.last_retries += 1
+                            time.sleep(policy.backoff_seconds(
+                                fingerprint, failed - 1))
+                            continue
+                        self.last_failures.append(FailureRecord.from_failure(
+                            spec, fingerprint, error, failed,
+                            tuple(tracebacks), tuple(elapsed)))
+                        if self.keep_going:
+                            break
+                        raise
+                    else:
+                        yield spec, result
+                        break
+        finally:
+            init_injector(None)
 
 
 # Worker-process state for ParallelExecutor, set by the pool initializer.
@@ -377,7 +473,8 @@ _WORKER_SETTINGS: ExperimentSettings | None = None
 
 
 def _init_worker(settings: ExperimentSettings,
-                 scenarios: tuple[Scenario, ...] = ()) -> None:
+                 scenarios: tuple[Scenario, ...] = (),
+                 injector: FaultInjector | None = None) -> None:
     """Pool initializer: hand each worker the settings its jobs run under.
 
     Workers keep their own dataset cache (``get_dataset`` fills it on the
@@ -388,18 +485,23 @@ def _init_worker(settings: ExperimentSettings,
     references: under a ``spawn``/``forkserver`` start method the worker's
     registry re-imports with only the built-ins, so user-registered
     scenarios must travel with the pool (Scenario is frozen and picklable by
-    design).
+    design).  ``injector`` ships the batch's resolved chaos injector the
+    same way — injection state must travel through the initializer, never
+    through ambient parent globals, to stay spawn-safe.
     """
     global _WORKER_SETTINGS
     _WORKER_SETTINGS = settings
     from repro.scenarios import register_scenario
     for scenario in scenarios:
         register_scenario(scenario, replace=True)
+    init_injector(injector)
 
 
-def _execute_in_worker(spec: RunSpec) -> ActiveLearningResult:
+def _execute_in_worker(spec: RunSpec, attempt: int = 0) -> ActiveLearningResult:
     """Top-level (picklable) job body run inside a pool worker."""
     assert _WORKER_SETTINGS is not None, "worker initializer did not run"
+    if active_injector() is not None:
+        fault_injection_point(spec.fingerprint(), attempt)
     return execute_spec(spec, _WORKER_SETTINGS)
 
 
@@ -416,17 +518,48 @@ class ParallelExecutor:
     completed-but-unyielded siblings.  Curves stay bit-identical to serial
     execution because results are keyed by spec and every run is seeded
     independently of the order in which its siblings finish.
+
+    With a :class:`~repro.experiments.faults.RetryPolicy` the executor runs
+    in fault-tolerant mode: transient failures are resubmitted with
+    deterministic backoff, jobs exceeding ``policy.timeout`` are cancelled
+    by tearing down (and rebuilding) the worker pool — a
+    :class:`ProcessPoolExecutor` cannot preempt a single running task — and
+    a :class:`BrokenProcessPool` (worker OOM-killed or crashed) rebuilds the
+    pool and resubmits the in-flight specs, quarantining any spec that
+    kills the pool :data:`~repro.experiments.faults.POOL_KILL_QUARANTINE`
+    times.  ``keep_going`` turns permanent failures into ``last_failures``
+    records instead of aborting the sweep.
     """
 
-    def __init__(self, jobs: int = 2) -> None:
+    def __init__(
+        self,
+        jobs: int = 2,
+        retry_policy: RetryPolicy | None = None,
+        keep_going: bool = False,
+        injector: FaultInjector | None = None,
+    ) -> None:
         if jobs < 1:
             raise ConfigurationError(f"jobs must be >= 1, got {jobs}")
         self.jobs = jobs
+        if retry_policy is None and (keep_going or injector is not None):
+            retry_policy = RetryPolicy()
+        self.retry_policy = retry_policy
+        self.keep_going = keep_going
+        self.injector = injector
+        self.last_failures: list[FailureRecord] = []
+        self.last_retries = 0
 
     def execute(
         self, specs: Sequence[RunSpec], settings: ExperimentSettings,
     ) -> Iterator[tuple[RunSpec, ActiveLearningResult]]:
+        self.last_failures = []
+        self.last_retries = 0
         if not specs:
+            return
+        if self.retry_policy is not None:
+            # Fault tolerance needs process isolation even for one job —
+            # per-job timeouts and kill recovery cannot work in-process.
+            yield from self._execute_with_policy(specs, settings)
             return
         if self.jobs == 1 or len(specs) == 1:
             yield from SerialExecutor().execute(specs, settings)
@@ -465,6 +598,250 @@ class ParallelExecutor:
                         yield spec, future.result()
                 raise
 
+    def _new_pool(
+        self,
+        workers: int,
+        settings: ExperimentSettings,
+        batch_scenarios: tuple[Scenario, ...],
+        injector: FaultInjector | None,
+    ) -> ProcessPoolExecutor:
+        return ProcessPoolExecutor(
+            max_workers=workers,
+            initializer=_init_worker,
+            initargs=(settings, batch_scenarios, injector),
+        )
+
+    @staticmethod
+    def _terminate_pool(pool: ProcessPoolExecutor) -> None:
+        """Hard-stop a pool whose workers may be hung, dead, or healthy.
+
+        ``shutdown`` alone would join the workers, which blocks forever on a
+        hung job — so the worker processes are terminated outright.  The
+        process table is a private attribute; if a future interpreter hides
+        it, the fallback is a plain (potentially blocking) shutdown.
+        """
+        pool.shutdown(wait=False, cancel_futures=True)
+        processes = getattr(pool, "_processes", None) or {}
+        for process in list(processes.values()):
+            process.terminate()
+        for process in list(processes.values()):
+            process.join(timeout=5.0)
+            if process.is_alive():
+                process.kill()
+
+    def _execute_with_policy(
+        self, specs: Sequence[RunSpec], settings: ExperimentSettings,
+    ) -> Iterator[tuple[RunSpec, ActiveLearningResult]]:
+        """Fault-tolerant scheduling loop (active when a policy is set).
+
+        A sliding window of at most ``workers`` jobs is kept in flight, so a
+        job's submit time approximates its start time and the per-job
+        timeout can be enforced from the parent.  Completion, failure, and
+        retry are all driven off :func:`concurrent.futures.wait`; retries
+        re-enter the window after their deterministic backoff without ever
+        blocking jobs that are ready to run.
+        """
+        policy = self.retry_policy
+        assert policy is not None
+        keep_going = self.keep_going
+        injector = (self.injector.resolve(list(specs))
+                    if self.injector is not None else None)
+        batch_scenarios = tuple(
+            {spec.scenario: get_scenario(spec.scenario) for spec in specs}
+            .values())
+        workers = min(self.jobs, len(specs))
+        fingerprints = {spec: spec.fingerprint() for spec in specs}
+        failed_attempts = {spec: 0 for spec in specs}
+        pool_kills = {spec: 0 for spec in specs}
+        tracebacks: dict[RunSpec, list[str]] = {spec: [] for spec in specs}
+        elapsed: dict[RunSpec, list[float]] = {spec: [] for spec in specs}
+        ready: deque[RunSpec] = deque(specs)
+        waiting: list[tuple[float, RunSpec]] = []
+        running: dict[Future[ActiveLearningResult],
+                      tuple[RunSpec, float]] = {}
+        abort: BaseException | None = None
+        # Parent-side injector: the store's torn-write hook fires in this
+        # process while the engine persists results.
+        init_injector(injector)
+        pool = self._new_pool(workers, settings, batch_scenarios, injector)
+
+        def fail_attempt(spec: RunSpec, error: BaseException,
+                         seconds: float) -> bool:
+            """Record one failed attempt; True if the spec will retry."""
+            failed_attempts[spec] += 1
+            tracebacks[spec].append(record_traceback(error))
+            elapsed[spec].append(seconds)
+            quarantined = pool_kills[spec] >= POOL_KILL_QUARANTINE
+            if not quarantined and policy.retryable(error,
+                                                    failed_attempts[spec]):
+                delay = policy.backoff_seconds(fingerprints[spec],
+                                               failed_attempts[spec] - 1)
+                waiting.append((time.monotonic() + delay, spec))
+                self.last_retries += 1
+                return True
+            self.last_failures.append(FailureRecord.from_failure(
+                spec, fingerprints[spec], error, failed_attempts[spec],
+                tuple(tracebacks[spec]), tuple(elapsed[spec]),
+                quarantined=quarantined))
+            return False
+
+        def recover(victims: dict[RunSpec, BaseException] | None,
+                    ) -> tuple[list[tuple[RunSpec, ActiveLearningResult]],
+                               BaseException | None]:
+            """Tear the pool down, classify in-flight specs, rebuild.
+
+            ``victims`` maps the specs blamed for the teardown to their
+            synthetic errors (timeouts); ``None`` means a worker crash, in
+            which case the blame goes to the spec a chaos ``kill`` directive
+            targeted — or, for real crashes, conservatively to every
+            in-flight spec.  Innocent in-flight specs are resubmitted
+            without consuming a retry.  Returns salvageable finished
+            results and the error to abort with (if any).
+            """
+            nonlocal pool
+            salvaged: list[tuple[RunSpec, ActiveLearningResult]] = []
+            fatal: BaseException | None = None
+            inflight: list[tuple[RunSpec, float]] = []
+            now = time.monotonic()
+            for future, (spec, started) in running.items():
+                finished = future.done() and not future.cancelled()
+                error = future.exception() if finished else None
+                if finished and error is None:
+                    salvaged.append((spec, future.result()))
+                elif error is not None and not isinstance(error,
+                                                          BrokenProcessPool):
+                    # A plain failure that completed just as the pool broke.
+                    if (not fail_attempt(spec, error, now - started)
+                            and not keep_going and fatal is None):
+                        fatal = error
+                else:
+                    inflight.append((spec, started))
+            running.clear()
+            if victims is None:
+                blamed = []
+                if injector is not None:
+                    blamed = [spec for spec, _ in inflight
+                              if injector.kills(fingerprints[spec],
+                                                failed_attempts[spec])]
+                if not blamed:
+                    blamed = [spec for spec, _ in inflight]
+                victims = {
+                    spec: WorkerCrashError(
+                        f"worker pool broke while job "
+                        f"{fingerprints[spec][:8]} was in flight")
+                    for spec in blamed}
+                for spec in victims:
+                    pool_kills[spec] += 1
+            for spec, started in inflight:
+                if spec in victims:
+                    if (not fail_attempt(spec, victims[spec], now - started)
+                            and not keep_going and fatal is None):
+                        fatal = victims[spec]
+                else:
+                    ready.append(spec)
+            self._terminate_pool(pool)
+            pool = self._new_pool(workers, settings, batch_scenarios,
+                                  injector)
+            return salvaged, fatal
+
+        try:
+            while ready or waiting or running:
+                now = time.monotonic()
+                if waiting:
+                    due = [entry for entry in waiting if entry[0] <= now]
+                    if due:
+                        waiting = [entry for entry in waiting
+                                   if entry[0] > now]
+                        for _, spec in sorted(
+                                due, key=lambda entry: fingerprints[entry[1]]):
+                            ready.append(spec)
+                broken_on_submit = False
+                while ready and len(running) < workers:
+                    spec = ready.popleft()
+                    try:
+                        future = pool.submit(_execute_in_worker, spec,
+                                             failed_attempts[spec])
+                    except BrokenProcessPool:
+                        ready.appendleft(spec)
+                        broken_on_submit = True
+                        break
+                    running[future] = (spec, time.monotonic())
+                if broken_on_submit:
+                    salvaged, fatal = recover(None)
+                    for item in salvaged:
+                        yield item
+                    if fatal is not None:
+                        abort = fatal
+                        break
+                    continue
+                if not running:
+                    if waiting:
+                        next_ready = min(entry[0] for entry in waiting)
+                        time.sleep(max(0.0, next_ready - time.monotonic()))
+                    continue
+                deadlines: list[float] = []
+                if policy.timeout is not None:
+                    deadlines.extend(started + policy.timeout - now
+                                     for _, started in running.values())
+                deadlines.extend(entry[0] - now for entry in waiting)
+                timeout = max(0.0, min(deadlines)) if deadlines else None
+                done, _ = wait(set(running), timeout=timeout,
+                               return_when=FIRST_COMPLETED)
+                pool_broken = False
+                for future in sorted(
+                        done, key=lambda f: fingerprints[running[f][0]]):
+                    spec, started = running.pop(future)
+                    seconds = time.monotonic() - started
+                    error = future.exception()
+                    if error is None:
+                        yield spec, future.result()
+                    elif isinstance(error, BrokenProcessPool):
+                        running[future] = (spec, started)
+                        pool_broken = True
+                        break
+                    elif not fail_attempt(spec, error, seconds) \
+                            and not keep_going:
+                        abort = error
+                        break
+                if abort is not None:
+                    break
+                if pool_broken:
+                    salvaged, fatal = recover(None)
+                    for item in salvaged:
+                        yield item
+                    if fatal is not None:
+                        abort = fatal
+                        break
+                    continue
+                if policy.timeout is not None:
+                    now = time.monotonic()
+                    overdue = {
+                        spec: JobTimeoutError(
+                            f"job {fingerprints[spec][:8]} exceeded the "
+                            f"{policy.timeout:g}s per-job timeout")
+                        for _, (spec, started) in running.items()
+                        if now - started >= policy.timeout}
+                    if overdue:
+                        salvaged, fatal = recover(overdue)
+                        for item in salvaged:
+                            yield item
+                        if fatal is not None:
+                            abort = fatal
+                            break
+            if abort is not None:
+                # Fail-fast abort: wait out still-running siblings, hand
+                # every salvageable finished run to the engine for
+                # persistence, then propagate.
+                pool.shutdown(wait=True, cancel_futures=True)
+                for future, (spec, _started) in running.items():
+                    if (future.done() and not future.cancelled()
+                            and future.exception() is None):
+                        yield spec, future.result()
+                raise abort
+        finally:
+            init_injector(None)
+            self._terminate_pool(pool)
+
     def map_indexed(
         self,
         fn: Callable,
@@ -482,6 +859,11 @@ class ParallelExecutor:
         once per task, and completion order never leaks into the result
         order.  ``fn``, ``initializer``, and every item must be picklable
         (top-level callables).
+
+        Failure semantics match :meth:`execute`: when one shard raises, the
+        queued shards are cancelled and the first error propagates — the
+        context manager alone would silently run every queued shard to
+        completion before re-raising, wasting a full pool's worth of work.
         """
         items = list(items)
         if not items:
@@ -494,8 +876,12 @@ class ParallelExecutor:
             futures = {pool.submit(fn, item): index
                        for index, item in enumerate(items)}
             results: list = [None] * len(items)
-            for future in as_completed(futures):
-                results[futures[future]] = future.result()
+            try:
+                for future in as_completed(futures):
+                    results[futures[future]] = future.result()
+            except BaseException:
+                pool.shutdown(wait=True, cancel_futures=True)
+                raise
         return results
 
 
@@ -511,6 +897,10 @@ class EngineReport:
     from_memory: int = 0
     #: Jobs a plan-only engine *would* execute (dry runs never execute).
     planned: int = 0
+    #: Failed attempts that were resubmitted under the retry policy.
+    retried: int = 0
+    #: Jobs that failed permanently (recorded in the failure ledger).
+    failed: int = 0
 
     @property
     def cached(self) -> int:
@@ -526,6 +916,8 @@ class EngineReport:
         self.from_store += other.from_store
         self.from_memory += other.from_memory
         self.planned += other.planned
+        self.retried += other.retried
+        self.failed += other.failed
 
 
 class ExperimentEngine:
@@ -579,6 +971,7 @@ class ExperimentEngine:
         self._memory: dict[RunSpec, ActiveLearningResult] = {}
         self._planned: dict[RunSpec, None] = {}
         self._plan_store_hits: dict[RunSpec, None] = {}
+        self._put_retries = 0
 
     def cached_results(self) -> dict[RunSpec, ActiveLearningResult]:
         """Copy of every result this engine currently holds in memory."""
@@ -683,6 +1076,8 @@ class ExperimentEngine:
                     pending.append(spec)
 
         executed = 0
+        executed_fingerprints: list[str] = []
+        self._put_retries = 0
         try:
             for spec, result in self.executor.execute(pending, self.settings):
                 # Memory first: if the store write fails, the result still
@@ -692,10 +1087,66 @@ class ExperimentEngine:
                 results[spec] = result
                 executed += 1
                 if self.store is not None:
-                    self.store.put(spec, result, manifest=self.manifest_id)
+                    executed_fingerprints.append(self._persist(spec, result))
         finally:
+            failures = list(getattr(self.executor, "last_failures", ()))
+            retried = (int(getattr(self.executor, "last_retries", 0))
+                       + self._put_retries)
             self.last_report = EngineReport(executed=executed,
                                             from_store=from_store,
-                                            from_memory=from_memory)
+                                            from_memory=from_memory,
+                                            retried=retried,
+                                            failed=len(failures))
             self.total_report.merge(self.last_report)
+            if self.store is not None:
+                self._update_ledger(failures, executed_fingerprints)
         return results
+
+    def _persist(self, spec: RunSpec, result: ActiveLearningResult) -> str:
+        """Persist one result, retrying transient (e.g. torn) write failures.
+
+        Reuses the executor's retry policy — the same backoff and attempt
+        budget that govern job execution govern artifact publication, so an
+        injected torn write self-heals instead of aborting the sweep.
+        Returns the spec's fingerprint.
+        """
+        assert self.store is not None
+        policy: RetryPolicy | None = getattr(self.executor, "retry_policy",
+                                             None)
+        fingerprint = spec.fingerprint()
+        failed = 0
+        while True:
+            try:
+                self.store.put(spec, result, manifest=self.manifest_id)
+                return fingerprint
+            except Exception as error:
+                failed += 1
+                if policy is None or not policy.retryable(error, failed):
+                    raise
+                self._put_retries += 1
+                time.sleep(policy.backoff_seconds(f"put:{fingerprint}",
+                                                  failed - 1))
+
+    def _update_ledger(self, failures: list[FailureRecord],
+                       executed_fingerprints: list[str]) -> None:
+        """Sync the failure ledger next to the store after a run.
+
+        Fresh permanent failures are recorded; fingerprints that executed
+        successfully are discarded (a resumed campaign that finally
+        succeeded must not keep reporting the job as failed).  The ledger
+        file is only touched when something changed, and an empty ledger is
+        removed outright.
+        """
+        assert self.store is not None
+        ledger_file = ledger_path(self.store.root)
+        if not failures and not ledger_file.exists():
+            return
+        ledger = FailureLedger(ledger_file)
+        changed = False
+        for record in failures:
+            ledger.record(record)
+            changed = True
+        for fingerprint in executed_fingerprints:
+            changed = ledger.discard(fingerprint) or changed
+        if changed:
+            ledger.save()

@@ -128,11 +128,15 @@ def run_spec_grid(
     Submitting the union as a single batch lets a parallel executor overlap
     runs *across* groups (e.g. across a figure's β values or a table's α
     columns), instead of being capped at the seeds within one group.
+
+    Under a ``--keep-going`` executor a permanently failed spec has no
+    result; it is dropped from its group (the engine's report and failure
+    ledger account for it), so the surviving runs still aggregate.
     """
     engine = _resolve_engine(settings, engine)
     all_specs = [spec for specs in spec_groups.values() for spec in specs]
     results = engine.run(all_specs)
-    return {key: [results[spec] for spec in specs]
+    return {key: [results[spec] for spec in specs if spec in results]
             for key, specs in spec_groups.items()}
 
 
@@ -149,8 +153,9 @@ def run_curve_grid(
     convention here means a change to it lands in every builder at once.
     """
     resolved = run_spec_grid(spec_groups, settings, engine)
+    # A group whose every run failed under --keep-going has no curve.
     return {key: average_curves([result.learning_curve() for result in results])
-            for key, results in resolved.items()}
+            for key, results in resolved.items() if results}
 
 
 def run_method(
@@ -194,6 +199,8 @@ def run_learning_curves(
     }
     curves = run_curve_grid(groups, settings, engine)
     return {
-        dataset_name: {method: curves[(dataset_name, method)] for method in methods}
+        dataset_name: {method: curves[(dataset_name, method)]
+                       for method in methods
+                       if (dataset_name, method) in curves}
         for dataset_name in dataset_names
     }

@@ -25,6 +25,7 @@ from typing import TYPE_CHECKING, Iterator
 
 from repro.active.loop import ActiveLearningResult
 from repro.exceptions import ConfigurationError
+from repro.experiments.faults import TornWriteError, active_injector
 
 if TYPE_CHECKING:  # avoid a circular import; engine imports the store
     from repro.experiments.engine import RunSpec
@@ -69,6 +70,12 @@ class ArtifactStore:
     def __init__(self, root: str | os.PathLike[str]) -> None:
         self.root = Path(root)
         self.root.mkdir(parents=True, exist_ok=True)
+        # A crash between temp-write and rename strands a ``*.json.tmp``
+        # file; it describes no completed run, so it is garbage by
+        # definition — and left around it would shadow the *next* writer's
+        # temp file semantics.  Clean on init, when no writer can be active.
+        for stale in self.root.glob("*.json.tmp"):
+            stale.unlink(missing_ok=True)
 
     def path_for(self, spec: "RunSpec") -> Path:
         """The artifact file a result for ``spec`` lives at."""
@@ -79,7 +86,12 @@ class ArtifactStore:
 
     def _read_payload(self, path: Path) -> dict[str, object]:
         payload = json.loads(path.read_text(encoding="utf-8"))
-        version = payload.get("format_version")
+        if not isinstance(payload, dict) or "format_version" not in payload:
+            # Valid JSON of some other shape — foreign file or torn write,
+            # not a genuine version conflict.  Treat as corruption (skip +
+            # warn + re-execute) rather than halting the whole resume.
+            raise KeyError("format_version")
+        version = payload["format_version"]
         if version != FORMAT_VERSION:
             raise ConfigurationError(
                 f"Artifact {path} has format version {version!r}, expected "
@@ -141,11 +153,30 @@ class ArtifactStore:
         }
         if manifest is not None:
             payload["manifest"] = manifest
-        # Write-then-rename so a crashed run never leaves a truncated
+        # Serialize before touching the filesystem: a result that cannot be
+        # serialized must not leave a partial temp file behind.
+        text = json.dumps(payload, indent=1, sort_keys=True)
+        injector = active_injector()
+        if injector is not None and injector.tear_next_write(path.stem):
+            # Chaos: simulate a crash mid-write on a filesystem without
+            # atomic-rename semantics — a truncated artifact lands at the
+            # *final* path, exactly the damage `_load` must absorb on the
+            # next resume.
+            path.write_text(text[:max(1, len(text) // 3)], encoding="utf-8")
+            raise TornWriteError(
+                f"chaos: torn artifact write for {path.name}")
+        # Write-then-fsync-then-rename so neither a crashed run nor a power
+        # loss right after the rename can publish a truncated or empty
         # artifact that a resume would try to load.
         temporary = path.with_suffix(".json.tmp")
-        temporary.write_text(json.dumps(payload, indent=1, sort_keys=True),
-                             encoding="utf-8")
+        try:
+            with open(temporary, "w", encoding="utf-8") as handle:
+                handle.write(text)
+                handle.flush()
+                os.fsync(handle.fileno())
+        except BaseException:
+            temporary.unlink(missing_ok=True)
+            raise
         os.replace(temporary, path)
         return path
 

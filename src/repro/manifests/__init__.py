@@ -13,6 +13,7 @@ See ``examples/campaign.toml`` for an annotated manifest.
 
 from repro.manifests.build import (
     build_manifest,
+    build_retry_policy,
     build_settings,
     expand_run_specs,
     grid_fingerprint,
@@ -40,6 +41,7 @@ from repro.manifests.parser import (
 )
 from repro.manifests.schema import (
     MANIFEST_FORMAT_VERSION,
+    ExecutionPolicy,
     GridStatement,
     ManifestDocument,
     ManifestSettings,
@@ -48,6 +50,7 @@ from repro.manifests.schema import (
 )
 
 __all__ = [
+    "ExecutionPolicy",
     "GridStatement",
     "LintIssue",
     "LintReport",
@@ -60,6 +63,7 @@ __all__ = [
     "SeedRange",
     "SourceMap",
     "build_manifest",
+    "build_retry_policy",
     "build_settings",
     "compute_lockfile",
     "expand_run_specs",

@@ -17,6 +17,7 @@ from repro.config import get_scale
 from repro.exceptions import ManifestError
 from repro.experiments.configs import ExperimentSettings
 from repro.experiments.engine import RunSpec
+from repro.experiments.faults import RetryPolicy
 from repro.manifests.lint import LintReport, lint_manifest
 from repro.manifests.parser import ManifestSource
 from repro.manifests.schema import ManifestDocument
@@ -54,6 +55,39 @@ def build_settings(document: ManifestDocument) -> ExperimentSettings:
         featurizer_config=featurizer,
         base_random_seed=manifest.base_random_seed,
     )
+
+
+def build_retry_policy(
+    document: ManifestDocument,
+) -> tuple[RetryPolicy | None, bool]:
+    """The ``(RetryPolicy, keep_going)`` the ``[execution]`` section declares.
+
+    ``(None, False)`` when the manifest has no ``[execution]`` section —
+    the campaign then runs with whatever the caller (CLI flags, API)
+    chooses, typically fail-fast.  Declared fields override the policy's
+    defaults field by field.
+    """
+    execution = document.execution
+    if execution is None:
+        return None, False
+    defaults = RetryPolicy()
+    return RetryPolicy(
+        max_attempts=(execution.max_attempts
+                      if execution.max_attempts is not None
+                      else defaults.max_attempts),
+        backoff_base=(execution.backoff_base
+                      if execution.backoff_base is not None
+                      else defaults.backoff_base),
+        backoff_factor=(execution.backoff_factor
+                        if execution.backoff_factor is not None
+                        else defaults.backoff_factor),
+        backoff_max=(execution.backoff_max
+                     if execution.backoff_max is not None
+                     else defaults.backoff_max),
+        jitter=(execution.jitter if execution.jitter is not None
+                else defaults.jitter),
+        timeout=execution.timeout,
+    ), execution.keep_going
 
 
 def expand_run_specs(

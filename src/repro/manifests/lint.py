@@ -27,6 +27,7 @@ from repro.datasets.registry import available_benchmarks
 from repro.experiments.engine import ACTIVE_LEARNING_METHODS
 from repro.manifests.parser import FieldPath, ManifestSource
 from repro.manifests.schema import (
+    ExecutionPolicy,
     GridStatement,
     ManifestDocument,
     ManifestSettings,
@@ -37,7 +38,7 @@ from repro.neural.featurizer import FeaturizerConfig
 from repro.neural.matcher import MatcherConfig
 from repro.scenarios import available_scenarios
 
-_TOP_LEVEL_KEYS = ("manifest", "settings", "grid", "run")
+_TOP_LEVEL_KEYS = ("manifest", "settings", "execution", "grid", "run")
 _SETTINGS_KEYS = ("scale", "iterations", "budget_per_iteration", "seed_size",
                   "base_random_seed", "matcher", "featurizer", "blocker")
 _GRID_KEYS = ("datasets", "methods", "scenarios", "seeds", "alphas", "beta",
@@ -45,6 +46,8 @@ _GRID_KEYS = ("datasets", "methods", "scenarios", "seeds", "alphas", "beta",
 _RUN_KEYS = ("dataset", "method", "scenario", "seed", "alpha", "beta",
              "weak_supervision")
 _SEED_RANGE_KEYS = ("start", "count", "stride")
+_EXECUTION_KEYS = ("max_attempts", "backoff_base", "backoff_factor",
+                   "backoff_max", "jitter", "timeout", "keep_going")
 
 
 def render_field_path(path: FieldPath) -> str:
@@ -149,6 +152,34 @@ class _Linter:
             self.error(path + (key,), f"must be in [0, 1], got {value}")
             return default
         return float(value)
+
+    def read_float(self, table: dict, key: str, path: FieldPath,
+                   default: float | None, minimum: float = 0.0,
+                   exclusive: bool = False) -> float | None:
+        if key not in table:
+            return default
+        value = table[key]
+        if isinstance(value, bool) or not isinstance(value, (int, float)):
+            self.error(path + (key,),
+                       f"expected a number, got {type(value).__name__}")
+            return default
+        if value < minimum or (exclusive and value == minimum):
+            bound = ">" if exclusive else ">="
+            self.error(path + (key,), f"must be {bound} {minimum:g}, "
+                                      f"got {value}")
+            return default
+        return float(value)
+
+    def read_bool(self, table: dict, key: str, path: FieldPath,
+                  default: bool) -> bool:
+        if key not in table:
+            return default
+        value = table[key]
+        if not isinstance(value, bool):
+            self.error(path + (key,),
+                       f"expected a boolean, got {type(value).__name__}")
+            return default
+        return value
 
     def read_name_list(self, table: dict, key: str, path: FieldPath,
                        kind: str, known: tuple[str, ...],
@@ -273,6 +304,38 @@ class _Linter:
                 table.get("featurizer"), path + ("featurizer",),
                 FeaturizerConfig),
             blocker=blocker,
+        )
+
+    def lint_execution(self) -> ExecutionPolicy | None:
+        """The optional ``[execution]`` retry-policy section.
+
+        Bounds mirror :class:`repro.experiments.faults.RetryPolicy`'s own
+        invariants, so every value the linter accepts constructs a valid
+        policy at build time.
+        """
+        table = self.source.data.get("execution")
+        if table is None:
+            return None
+        path: FieldPath = ("execution",)
+        if not isinstance(table, dict):
+            self.error(path, f"expected a table, got {type(table).__name__}")
+            return None
+        self.check_unknown_keys(table, _EXECUTION_KEYS, path, "execution")
+        jitter = self.read_float(table, "jitter", path, None)
+        if jitter is not None and jitter > 1.0:
+            self.error(path + ("jitter",),
+                       f"must be in [0, 1], got {jitter:g}")
+            jitter = None
+        return ExecutionPolicy(
+            max_attempts=self.read_int(table, "max_attempts", path, None),
+            backoff_base=self.read_float(table, "backoff_base", path, None),
+            backoff_factor=self.read_float(table, "backoff_factor", path,
+                                           None, minimum=1.0),
+            backoff_max=self.read_float(table, "backoff_max", path, None),
+            jitter=jitter,
+            timeout=self.read_float(table, "timeout", path, None,
+                                    exclusive=True),
+            keep_going=self.read_bool(table, "keep_going", path, False),
         )
 
     def lint_seeds(self, table: dict, path: FieldPath,
@@ -424,6 +487,7 @@ class _Linter:
                                 "manifest section")
         name, description = self.lint_header()
         settings = self.lint_settings()
+        execution = self.lint_execution()
 
         raw_grids = self.source.data.get("grid", [])
         if not isinstance(raw_grids, list):
@@ -451,6 +515,7 @@ class _Linter:
                 settings=settings,
                 grids=tuple(grid for grid in grids if grid is not None),
                 runs=tuple(run for run in runs if run is not None),
+                execution=execution,
             )
         return report
 

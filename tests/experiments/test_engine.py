@@ -7,6 +7,7 @@ end in seconds.
 """
 
 import json
+from pathlib import Path
 
 import pytest
 
@@ -21,6 +22,12 @@ from repro.experiments.engine import (
     RunSpec,
     SerialExecutor,
     settings_fingerprint,
+)
+from repro.experiments.faults import (
+    FailureLedger,
+    FaultInjector,
+    RetryPolicy,
+    ledger_path,
 )
 from repro.experiments.figures import figure6_runtime
 from repro.experiments.runner import MethodRun, enumerate_run_specs, run_method
@@ -319,6 +326,186 @@ class TestEngine:
                     == [r.test_metrics for r in serial[spec].records])
 
 
+#: Zero-sleep policy for chaos tests: retries must not slow the suite down.
+FAST_RETRY = RetryPolicy(max_attempts=3, backoff_base=0.0, jitter=0.0)
+
+
+def _assert_same_curves(actual, expected, specs):
+    """Learning curves and metrics bit-identical (timings legitimately vary)."""
+    for spec in specs:
+        actual_curve = actual[spec].learning_curve()
+        expected_curve = expected[spec].learning_curve()
+        assert actual_curve.labeled_counts == expected_curve.labeled_counts
+        assert actual_curve.f1_scores == expected_curve.f1_scores
+        assert ([r.test_metrics for r in actual[spec].records]
+                == [r.test_metrics for r in expected[spec].records])
+
+
+def _normalized_store_payloads(root) -> dict[str, dict]:
+    """Store artifacts keyed by file name, with wall-clock fields zeroed."""
+    payloads = {}
+    for path in sorted(root.glob("*.json")):
+        payload = json.loads(path.read_text())
+        for record in payload["result"]["records"]:
+            record["train_seconds"] = 0.0
+            record["selection_seconds"] = 0.0
+        payloads[path.name] = payload
+    return payloads
+
+
+class TestFaultTolerance:
+    """The PR's acceptance criteria: injected faults cost retries, not sweeps."""
+
+    def test_serial_transient_fault_retries_to_identical_results(
+            self, fast_settings):
+        specs = enumerate_run_specs("amazon_google", "random", fast_settings)
+        clean = ExperimentEngine(fast_settings).run(specs)
+
+        injector = FaultInjector.from_spec("raise@0,raise@1").resolve(specs)
+        executor = SerialExecutor(retry_policy=FAST_RETRY, injector=injector)
+        engine = ExperimentEngine(fast_settings, executor=executor)
+        chaotic = engine.run(specs)
+
+        assert engine.last_report.executed == len(specs)
+        assert engine.last_report.retried == len(specs)
+        assert engine.last_report.failed == 0
+        _assert_same_curves(chaotic, clean, specs)
+
+    def test_parallel_kill_and_raise_recover_bit_identically(
+            self, tmp_path, fast_settings):
+        """Acceptance: worker kill + raised exception under retry == clean run."""
+        specs = enumerate_run_specs("amazon_google", "random", fast_settings)
+        assert len(specs) == 2
+        clean_store = tmp_path / "clean"
+        clean = ExperimentEngine(
+            fast_settings, store=ArtifactStore(clean_store)).run(specs)
+
+        injector = FaultInjector.from_spec("kill@0,raise@1").resolve(specs)
+        chaos_store = tmp_path / "chaos"
+        engine = ExperimentEngine(
+            fast_settings,
+            executor=ParallelExecutor(jobs=2, retry_policy=FAST_RETRY,
+                                      injector=injector),
+            store=ArtifactStore(chaos_store))
+        chaotic = engine.run(specs)
+
+        assert engine.last_report.executed == len(specs)
+        assert engine.last_report.retried == len(specs)
+        assert engine.last_report.failed == 0
+        _assert_same_curves(chaotic, clean, specs)
+        assert (_normalized_store_payloads(chaos_store)
+                == _normalized_store_payloads(clean_store))
+
+    def test_parallel_hang_is_cancelled_by_timeout_and_retried(
+            self, fast_settings):
+        """Acceptance: a hung job is cancelled at the deadline, not waited out."""
+        specs = enumerate_run_specs("amazon_google", "random", fast_settings)
+        clean = ExperimentEngine(fast_settings).run(specs)
+
+        # The hang (60 s) dwarfs the timeout (10 s), which itself dwarfs a
+        # tiny-scale run; the retried attempt has no directive and completes.
+        injector = FaultInjector.from_spec("hang=60@0").resolve(specs)
+        policy = RetryPolicy(max_attempts=3, backoff_base=0.0, jitter=0.0,
+                             timeout=10.0)
+        engine = ExperimentEngine(
+            fast_settings,
+            executor=ParallelExecutor(jobs=2, retry_policy=policy,
+                                      injector=injector))
+        chaotic = engine.run(specs)
+
+        assert engine.last_report.executed == len(specs)
+        assert engine.last_report.retried >= 1
+        assert engine.last_report.failed == 0
+        _assert_same_curves(chaotic, clean, specs)
+
+    def test_keep_going_records_ledger_and_resume_retries_exactly_it(
+            self, tmp_path, fast_settings):
+        """Acceptance: permanent failure → sibling persists + resumable ledger."""
+        store_path = tmp_path / "store"
+        specs = enumerate_run_specs("amazon_google", "random", fast_settings)
+        injector = FaultInjector.from_spec("permanent@0").resolve(specs)
+        engine = ExperimentEngine(
+            fast_settings,
+            executor=ParallelExecutor(jobs=2, retry_policy=FAST_RETRY,
+                                      keep_going=True, injector=injector),
+            store=ArtifactStore(store_path))
+        results = engine.run(specs)
+
+        # The sibling survived and persisted; the failed job has no result.
+        assert engine.last_report.executed == 1
+        assert engine.last_report.failed == 1
+        assert specs[0] not in results and specs[1] in results
+        assert len(ArtifactStore(store_path)) == 1
+
+        ledger = FailureLedger(ledger_path(store_path))
+        assert ledger.fingerprints() == (specs[0].fingerprint(),)
+        entry = ledger.entries[specs[0].fingerprint()]
+        assert entry.error_type == "InjectedPermanentError"
+        assert entry.attempts == 1  # permanent errors never retry
+
+        # Resuming with the same store retries exactly the ledgered job.
+        resumed = ExperimentEngine(fast_settings,
+                                   store=ArtifactStore(store_path))
+        resumed.run(specs)
+        assert resumed.last_report.executed == 1
+        assert resumed.last_report.from_store == 1
+        # The success cleared the ledger entry (and the now-empty file).
+        assert not ledger_path(store_path).exists()
+
+    def test_exhausted_transient_retries_become_permanent_failures(
+            self, fast_settings):
+        specs = enumerate_run_specs("amazon_google", "random", fast_settings)
+        # Every attempt of job 0 fails: the retry budget runs out.
+        injector = FaultInjector.from_spec(
+            "raise@0:0,raise@0:1").resolve(specs)
+        policy = RetryPolicy(max_attempts=2, backoff_base=0.0, jitter=0.0)
+        executor = SerialExecutor(retry_policy=policy, keep_going=True,
+                                  injector=injector)
+        engine = ExperimentEngine(fast_settings, executor=executor)
+        results = engine.run(specs)
+
+        assert engine.last_report.failed == 1
+        assert engine.last_report.retried == 1
+        assert specs[0] not in results and specs[1] in results
+        failure, = executor.last_failures
+        assert failure.attempts == 2
+        assert failure.error_type == "InjectedTransientError"
+        assert len(failure.tracebacks) == 2
+
+    def test_repeated_pool_kills_quarantine_the_culprit(
+            self, fast_settings):
+        """A job that keeps killing its worker must not sink the sweep."""
+        specs = enumerate_run_specs("amazon_google", "random", fast_settings)
+        injector = FaultInjector.from_spec("kill@0:0,kill@0:1").resolve(specs)
+        policy = RetryPolicy(max_attempts=5, backoff_base=0.0, jitter=0.0)
+        executor = ParallelExecutor(jobs=2, retry_policy=policy,
+                                    keep_going=True, injector=injector)
+        engine = ExperimentEngine(fast_settings, executor=executor)
+        results = engine.run(specs)
+
+        assert engine.last_report.failed == 1
+        assert specs[0] not in results and specs[1] in results
+        failure, = executor.last_failures
+        assert failure.quarantined
+        assert failure.error_type == "WorkerCrashError"
+        assert failure.attempts == 2  # quarantined before the budget ran out
+
+    def test_fail_fast_raises_after_retries_exhausted(self, fast_settings):
+        specs = enumerate_run_specs("amazon_google", "random", fast_settings)
+        injector = FaultInjector.from_spec("permanent@0").resolve(specs)
+        engine = ExperimentEngine(
+            fast_settings,
+            executor=ParallelExecutor(jobs=2, retry_policy=FAST_RETRY,
+                                      injector=injector))
+        from repro.experiments.faults import InjectedPermanentError
+        with pytest.raises(InjectedPermanentError):
+            engine.run(specs)
+
+    def test_serial_executor_warns_it_cannot_enforce_timeouts(self):
+        with pytest.warns(UserWarning, match="timeout"):
+            SerialExecutor(retry_policy=RetryPolicy(timeout=5.0))
+
+
 def _square(value: int) -> int:
     return value * value
 
@@ -335,6 +522,15 @@ def _add_base(value: int) -> int:
     return value + _MAP_WORKER_BASE
 
 
+def _touch_unless_three(item: "tuple[int, str]") -> int:
+    """Record the call in a scratch dir; item 3 fails (cancellation probe)."""
+    index, scratch = item
+    if index == 3:
+        raise ValueError("three is right out")
+    (Path(scratch) / f"{index}.ran").touch()
+    return index
+
+
 class TestMapIndexed:
     def test_results_in_item_order(self):
         executor = ParallelExecutor(jobs=2)
@@ -349,6 +545,14 @@ class TestMapIndexed:
             _add_base, [1, 2, 3],
             initializer=_init_map_worker, initargs=(100,))
         assert results == [101, 102, 103]
+
+    def test_failure_surfaces_first_error_and_cancels_queue(self, tmp_path):
+        """A failed shard cancels the queue instead of draining it fully."""
+        items = [(index, str(tmp_path)) for index in range(64)]
+        with pytest.raises(ValueError, match="three is right out"):
+            ParallelExecutor(jobs=2).map_indexed(_touch_unless_three, items)
+        # Only the shards already in flight ran; the queued tail was cancelled.
+        assert len(list(tmp_path.glob("*.ran"))) < len(items)
 
 
 class TestFigure6TimingGuard:

@@ -6,6 +6,7 @@ one re-executed run — never a crashed resume.
 """
 
 import json
+import os
 
 import pytest
 
@@ -14,7 +15,17 @@ from repro.config import get_scale
 from repro.evaluation.metrics import MatchingMetrics
 from repro.exceptions import ConfigurationError
 from repro.experiments.configs import ExperimentSettings
-from repro.experiments.engine import ExperimentEngine, RunSpec
+from repro.experiments.engine import (
+    ExperimentEngine,
+    RunSpec,
+    SerialExecutor,
+)
+from repro.experiments.faults import (
+    FaultInjector,
+    RetryPolicy,
+    TornWriteError,
+    init_injector,
+)
 from repro.experiments.runner import enumerate_run_specs
 from repro.experiments.store import ArtifactStore
 from repro.neural.featurizer import FeaturizerConfig
@@ -121,6 +132,33 @@ class TestCorruptArtifacts:
         assert "re-executed" in message
         assert resumed.last_report.executed == len(specs)
 
+    @pytest.mark.parametrize("damage", [
+        pytest.param(lambda text: text[: len(text) // 2], id="truncated-json"),
+        pytest.param(lambda text: "", id="empty-file"),
+        pytest.param(lambda text: json.dumps({"unrelated": True}),
+                     id="valid-json-wrong-schema"),
+    ])
+    def test_each_damage_mode_costs_one_rerun_and_one_warning(
+            self, tmp_path, fast_settings, damage):
+        """Every torn-write shape reads as absent: one warning, one re-run."""
+        store_path = tmp_path / "store"
+        specs = (enumerate_run_specs("amazon_google", "random", fast_settings)
+                 + enumerate_run_specs("amazon_google", "dal", fast_settings))
+        ExperimentEngine(fast_settings,
+                         store=ArtifactStore(store_path)).run(specs)
+        victim = ArtifactStore(store_path).path_for(specs[0])
+        victim.write_text(damage(victim.read_text()))
+
+        resumed = ExperimentEngine(fast_settings,
+                                   store=ArtifactStore(store_path))
+        with pytest.warns(UserWarning) as caught:
+            resumed.run(specs)
+        corruption = [record for record in caught
+                      if "corrupt artifact" in str(record.message)]
+        assert len(corruption) == 1
+        assert resumed.last_report.executed == 1
+        assert resumed.last_report.from_store == len(specs) - 1
+
     def test_resumed_sweep_reexecutes_only_the_corrupt_run(self, tmp_path,
                                                            fast_settings):
         """Acceptance: a damaged artifact costs one re-execution, not a crash."""
@@ -147,3 +185,90 @@ class TestCorruptArtifacts:
                                   store=ArtifactStore(store_path))
         second.run(specs)
         assert second.last_report.executed == 0
+
+
+class TestCrashSafePut:
+    def test_stale_temp_files_cleaned_on_init(self, tmp_path):
+        root = tmp_path / "store"
+        root.mkdir()
+        stale = root / "deadbeef.json.tmp"
+        stale.write_text("{half a write")
+        ArtifactStore(root)
+        assert not stale.exists()
+
+    def test_put_leaves_no_temp_on_mid_write_failure(self, tmp_path,
+                                                     fast_settings,
+                                                     monkeypatch):
+        """A crash between temp-write and rename must not strand debris."""
+        store = ArtifactStore(tmp_path / "store")
+
+        def exploding_fsync(fd):
+            raise OSError("simulated disk failure")
+
+        monkeypatch.setattr("repro.experiments.store.os.fsync",
+                            exploding_fsync)
+        with pytest.raises(OSError, match="simulated disk failure"):
+            store.put(_spec(fast_settings), _result())
+        assert list(store.root.glob("*.tmp")) == []
+        assert len(store) == 0
+
+    def test_put_fsyncs_before_replace(self, tmp_path, fast_settings,
+                                       monkeypatch):
+        """The temp file is durable before the rename publishes it."""
+        events = []
+        real_fsync, real_replace = os.fsync, os.replace
+        monkeypatch.setattr(
+            "repro.experiments.store.os.fsync",
+            lambda fd: (events.append("fsync"), real_fsync(fd))[1])
+        monkeypatch.setattr(
+            "repro.experiments.store.os.replace",
+            lambda a, b: (events.append("replace"), real_replace(a, b))[1])
+        store = ArtifactStore(tmp_path / "store")
+        store.put(_spec(fast_settings), _result())
+        assert events == ["fsync", "replace"]
+
+
+class TestTornWriteInjection:
+    def test_torn_put_truncates_final_path_and_raises(self, tmp_path,
+                                                      fast_settings):
+        store = ArtifactStore(tmp_path / "store")
+        spec = _spec(fast_settings)
+        injector = FaultInjector.from_spec("torn@0").resolve([spec])
+        init_injector(injector)
+        try:
+            with pytest.raises(TornWriteError):
+                store.put(spec, _result())
+            # The torn artifact is a genuinely unreadable partial file.
+            path = store.path_for(spec)
+            assert path.exists()
+            with pytest.raises(json.JSONDecodeError):
+                json.loads(path.read_text())
+            with pytest.warns(UserWarning, match="corrupt artifact"):
+                assert store.get(spec) is None
+            # The retried write (count 1: no matching directive) lands clean.
+            store.put(spec, _result())
+            assert store.get(spec) == _result()
+        finally:
+            init_injector(None)
+
+    def test_engine_self_heals_torn_write_under_retry_policy(
+            self, tmp_path, fast_settings):
+        """A torn artifact write costs one retried put, not a failed sweep."""
+        store_path = tmp_path / "store"
+        specs = enumerate_run_specs("amazon_google", "random", fast_settings)
+        injector = FaultInjector.from_spec("torn@0").resolve(specs)
+        policy = RetryPolicy(max_attempts=3, backoff_base=0.0, jitter=0.0)
+        engine = ExperimentEngine(
+            fast_settings,
+            executor=SerialExecutor(retry_policy=policy, injector=injector),
+            store=ArtifactStore(store_path))
+        engine.run(specs)
+        assert engine.last_report.executed == len(specs)
+        assert engine.last_report.retried == 1  # the re-issued store.put
+        assert engine.last_report.failed == 0
+        # Every artifact is valid: a fresh resume loads all from the store.
+        resumed = ExperimentEngine(fast_settings,
+                                   store=ArtifactStore(store_path))
+        resumed.run(specs)
+        assert resumed.last_report.executed == 0
+        assert resumed.last_report.from_store == len(specs)

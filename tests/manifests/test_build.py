@@ -134,3 +134,42 @@ def test_manifest_id_is_content_addressed():
     assert document.fingerprint() != renamed.fingerprint()
     same, _, _ = _expand()
     assert document.manifest_id() == same.manifest_id()
+
+
+EXECUTION_MANIFEST = MANIFEST + """
+[execution]
+max_attempts = 2
+backoff_base = 0.01
+keep_going = true
+"""
+
+
+def test_execution_section_builds_a_retry_policy():
+    from repro.manifests import build_retry_policy
+    report = lint_manifest(parse_manifest_text(EXECUTION_MANIFEST))
+    assert report.ok
+    policy, keep_going = build_retry_policy(report.document)
+    assert policy is not None
+    assert policy.max_attempts == 2
+    assert policy.backoff_base == 0.01
+    # Undeclared fields inherit the policy defaults.
+    assert policy.backoff_factor == 2.0
+    assert policy.timeout is None
+    assert keep_going is True
+
+
+def test_manifest_without_execution_builds_no_policy():
+    from repro.manifests import build_retry_policy
+    report = lint_manifest(parse_manifest_text(MANIFEST))
+    policy, keep_going = build_retry_policy(report.document)
+    assert policy is None
+    assert keep_going is False
+
+
+def test_execution_section_does_not_change_the_grid_fingerprint():
+    """How a campaign retries must not invalidate its lockfile pins."""
+    plain = lint_manifest(parse_manifest_text(MANIFEST)).document
+    resilient = lint_manifest(
+        parse_manifest_text(EXECUTION_MANIFEST)).document
+    assert grid_fingerprint(expand_run_specs(plain)) == \
+        grid_fingerprint(expand_run_specs(resilient))

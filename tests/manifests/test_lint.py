@@ -175,3 +175,72 @@ def test_toml_syntax_error_raises_manifest_error(tmp_path):
 def test_missing_file_raises_manifest_error(tmp_path):
     with pytest.raises(ManifestError, match="not found"):
         load_manifest(tmp_path / "absent.toml")
+
+
+EXECUTION_MANIFEST = """
+[manifest]
+name = "resilient"
+
+[settings]
+scale = "tiny"
+
+[execution]
+max_attempts = 4
+backoff_base = 0.1
+backoff_factor = 2.0
+backoff_max = 10.0
+jitter = 0.5
+timeout = 120.0
+keep_going = true
+
+[[run]]
+dataset = "amazon_google"
+method = "random"
+"""
+
+
+def test_execution_section_lints_clean():
+    report = lint_manifest(parse_manifest_text(EXECUTION_MANIFEST))
+    assert report.ok
+    execution = report.document.execution
+    assert execution is not None
+    assert execution.max_attempts == 4
+    assert execution.timeout == 120.0
+    assert execution.keep_going is True
+
+
+def test_execution_section_is_optional():
+    report = lint_manifest(parse_manifest_text(GOOD_MANIFEST))
+    assert report.ok
+    assert report.document.execution is None
+
+
+def test_execution_errors_reported_with_locations():
+    text = """
+[manifest]
+name = "broken-execution"
+
+[settings]
+scale = "tiny"
+
+[execution]
+max_attempts = 0
+jitter = 1.5
+timeout = 0.0
+backoff_factor = 0.5
+keep_going = "yes"
+bogus = 1
+
+[[run]]
+dataset = "amazon_google"
+method = "random"
+"""
+    report = lint_manifest(parse_manifest_text(text))
+    assert not report.ok
+    fields = {issue.field for issue in report.errors}
+    assert {"execution.max_attempts", "execution.jitter",
+            "execution.timeout", "execution.backoff_factor",
+            "execution.keep_going", "execution.bogus"} <= fields
+    located = [issue for issue in report.errors
+               if issue.field == "execution.max_attempts"]
+    assert located and located[0].line is not None
